@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one artifact of the paper's evaluation (see
+DESIGN.md, "Experiment index") and prints the reproduced rows/series so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as a report generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import plan_from_view
+from repro.env import map_ens_lyon
+from repro.netsim import build_ens_lyon
+
+
+@pytest.fixture(scope="session")
+def ens_lyon():
+    """The ENS-Lyon platform of Figure 1(a)."""
+    return build_ens_lyon()
+
+
+@pytest.fixture(scope="session")
+def merged_view(ens_lyon):
+    """The merged effective view of Figure 1(b)."""
+    return map_ens_lyon(ens_lyon)
+
+
+@pytest.fixture(scope="session")
+def ens_plan(merged_view):
+    """The deployment plan of Figure 3."""
+    return plan_from_view(merged_view, period_s=20.0)

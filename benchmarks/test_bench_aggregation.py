@@ -1,0 +1,67 @@
+"""CLM-AGGR — composing indirect estimates (completeness example of §2.3).
+
+*"Latency between A and C can then be roughly estimated by adding the
+latencies measured on AB and on BC.  The minimum of the bandwidths on AB and
+BC can be used to estimate the one on AC."*  The benchmark aggregates
+estimates for every unmeasured ENS-Lyon pair from the ENV plan's measured
+pairs and reports the error against ground truth, both from the analytic
+oracle and from a real simulated NWS run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import Aggregator, ground_truth_store
+from repro.netsim import FlowModel
+from repro.nws import NWSConfig, NWSSystem, NWSClient
+from repro.simkernel import Engine
+
+
+def test_bench_aggregation_accuracy(benchmark, ens_lyon, ens_plan):
+    aggregator = Aggregator(ens_plan, ground_truth_store(ens_lyon))
+    estimates = benchmark(aggregator.estimate_all_pairs)
+
+    reference = FlowModel(Engine(), ens_lyon)
+    rows = []
+    bw_errors = {"direct": [], "representative": [], "aggregated": []}
+    for pair, estimate in estimates.items():
+        a, b = sorted(pair)
+        truth = reference.single_flow_mbps(a, b)
+        error = abs(estimate.bandwidth_mbps - truth) / truth
+        bw_errors[estimate.method].append(error)
+    for method, errors in bw_errors.items():
+        rows.append({
+            "method": method,
+            "pairs": len(errors),
+            "mean bandwidth error": round(float(np.mean(errors)), 3) if errors else "-",
+            "max bandwidth error": round(float(np.max(errors)), 3) if errors else "-",
+        })
+    print("\n[CLM-AGGR] end-to-end estimates from the ENV plan's measurements")
+    print(render_table(rows))
+
+    n = len(ens_plan.hosts)
+    assert len(estimates) == n * (n - 1) // 2  # completeness
+    assert float(np.mean(bw_errors["aggregated"])) < 0.15
+    # the gateway example of the paper: moby -- (gateway path) --> sci3
+    example = estimates[frozenset(("moby", "sci3"))]
+    assert example.method == "aggregated"
+    assert example.bandwidth_mbps == pytest.approx(10.0, rel=0.05)
+    print(f"  example (paper §2.3): moby->sci3 estimated at "
+          f"{example.bandwidth_mbps:.1f} Mbit/s via {' -> '.join(example.path)}")
+
+
+def test_bench_aggregation_from_running_nws(ens_lyon, ens_plan):
+    system = NWSSystem(ens_lyon, ens_plan, config=NWSConfig(token_hold_gap_s=1.0))
+    system.run(200.0)
+    client = NWSClient(system)
+    reference = FlowModel(Engine(), ens_lyon)
+
+    answer = client.bandwidth("the-doors", "sci3")
+    truth = reference.single_flow_mbps("the-doors", "sci3")
+    print("\n[CLM-AGGR] aggregated forecast from a running NWS deployment")
+    print(f"  the-doors -> sci3: forecast {answer.forecast.value:.1f} Mbit/s "
+          f"({answer.method}), ground truth {truth:.1f} Mbit/s")
+    assert answer.method == "aggregated"
+    assert answer.forecast.value == pytest.approx(truth, rel=0.25)
+    assert client.availability() == pytest.approx(1.0)

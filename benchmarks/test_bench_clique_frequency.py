@@ -1,0 +1,61 @@
+"""CLM-FREQ — token-ring measurement frequency vs. clique size (§2.3).
+
+*"The token-ring algorithms are known to be not very scalable, and the
+frequency of the measurements obviously decreases when the number of hosts in
+a given clique increases."*  The benchmark measures, on a running simulated
+NWS, the time between two measurements of the same host pair for cliques of
+growing size deployed on a switched cluster, and checks the analytic
+n·(n−1) growth.
+"""
+
+import pytest
+
+from repro.analysis import frequency_vs_clique_size, render_table
+from repro.core import Clique, DeploymentPlan, measurement_periods
+from repro.netsim import generate_single_site
+from repro.nws import NWSConfig, NWSSystem
+
+
+def _run_single_clique(size: int, duration: float = 200.0):
+    platform = generate_single_site(n_hub_clusters=0, n_switch_clusters=1,
+                                    hosts_per_cluster=max(size, 2))
+    hosts = platform.host_names()[:size]
+    plan = DeploymentPlan(hosts=hosts, nameserver_host=hosts[0])
+    plan.notes["planner"] = f"clique-{size}"
+    plan.cliques.append(Clique(name=f"clique-{size}", hosts=tuple(hosts),
+                               kind="switched", period_s=0.0))
+    system = NWSSystem(platform, plan, config=NWSConfig(token_hold_gap_s=0.5))
+    system.run(duration)
+    return system
+
+
+def test_bench_clique_frequency_vs_size(benchmark):
+    sizes = [2, 4, 6, 8]
+
+    def run_all():
+        return {size: _run_single_clique(size) for size in sizes}
+
+    systems = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    intervals = {}
+    for size, system in systems.items():
+        stats = frequency_vs_clique_size(system)[0]
+        intervals[size] = float(stats["mean_interval_s"])
+        rows.append({
+            "clique size": size,
+            "ordered pairs": size * (size - 1),
+            "mean interval between measurements (s)": stats["mean_interval_s"],
+            "experiments completed": stats["measurements"],
+        })
+    print("\n[CLM-FREQ] measurement interval vs. clique size (200 simulated s)")
+    print(render_table(rows))
+
+    # Frequency strictly decreases (interval increases) with clique size.
+    assert intervals[2] < intervals[4] < intervals[6] < intervals[8]
+    # The analytic model captures the quadratic growth of the cycle length.
+    plan = DeploymentPlan(hosts=[f"h{i}" for i in range(8)])
+    plan.cliques.append(Clique(name="c8", hosts=tuple(f"h{i}" for i in range(8))))
+    plan.cliques.append(Clique(name="c2", hosts=("h0", "h1")))
+    periods = measurement_periods(plan, experiment_seconds=1.0)
+    assert periods["c8"] / periods["c2"] == pytest.approx(28.0)

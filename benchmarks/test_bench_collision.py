@@ -1,0 +1,61 @@
+"""CLM-COLLIDE — colliding measurements report about half the real value (§2.3).
+
+Two NWS bandwidth experiments run at the same time on the same shared hub:
+each one observes ≈ 50 % of the real capacity, which is exactly why the
+deployment must keep experiments from colliding.  The benchmark also shows
+that the ENV-planned deployment keeps the measurement error small while an
+uncoordinated all-pairs deployment on the same hosts does not.
+"""
+
+import pytest
+
+from repro.core import independent_pairs_plan, plan_from_view
+from repro.netsim import FlowModel
+from repro.nws import NWSConfig, NWSSystem
+from repro.simkernel import Engine
+
+
+def test_bench_collision_halves_bandwidth(benchmark, ens_lyon):
+    fm = FlowModel(Engine(), ens_lyon)
+
+    def collide():
+        solo = fm.single_flow_mbps("myri1", "myri0")
+        both = fm.steady_state_mbps([("myri1", "myri0"), ("myri2", "myri0")])
+        return solo, both
+
+    solo, both = benchmark(collide)
+
+    print("\n[CLM-COLLIDE] concurrent experiments on one hub segment")
+    print(f"  lone probe myri1->myri0:          {solo:6.1f} Mbit/s")
+    print(f"  colliding probes (myri1, myri2):  {both[0]:6.1f} / {both[1]:6.1f} Mbit/s")
+    print(f"  reported fraction of real value:  {both[0] / solo:.2f}")
+
+    assert both[0] / solo == pytest.approx(0.5, abs=0.05)
+    assert both[1] / solo == pytest.approx(0.5, abs=0.05)
+
+
+def test_bench_collision_corrupts_uncoordinated_deployment(ens_lyon):
+    hub_hosts = ["myri0", "myri1", "myri2", "popc0"]
+
+    env_system = NWSSystem(ens_lyon, plan_from_view(
+        __import__("repro.env", fromlist=["map_ens_lyon"]).map_ens_lyon(ens_lyon),
+        period_s=10.0), config=NWSConfig(token_hold_gap_s=1.0))
+    env_system.run(150.0)
+    env_errors = env_system.measurement_error_report()
+    env_hub_errors = [err for pair, err in env_errors.items()
+                      if pair <= set(hub_hosts)] or list(env_errors.values())
+
+    bad_system = NWSSystem(ens_lyon,
+                           independent_pairs_plan(ens_lyon, hub_hosts, period_s=5.0),
+                           config=NWSConfig(token_hold_gap_s=0.0))
+    bad_system.run(150.0)
+    bad_errors = bad_system.measurement_error_report()
+
+    env_worst = max(env_hub_errors)
+    bad_worst = max(bad_errors.values())
+    print("\n[CLM-COLLIDE] measurement error, planned vs. uncoordinated deployment")
+    print(f"  ENV-planned deployment, worst relative error:   {env_worst:.2f}")
+    print(f"  uncoordinated all-pairs deployment, worst error: {bad_worst:.2f}")
+
+    assert bad_worst > 0.25
+    assert env_worst < bad_worst

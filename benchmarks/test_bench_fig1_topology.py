@@ -1,0 +1,52 @@
+"""FIG-1a — the ENS-Lyon physical platform (paper Figure 1(a)).
+
+Regenerates the simulated platform and checks its structural properties:
+host inventory, hub/switch segments, the 10 Mbit/s bottleneck towards the
+LHPC machines, route asymmetry and the popc.private firewall.
+"""
+
+import pytest
+
+from repro.netsim import (
+    FlowModel,
+    PRIVATE_HOSTS,
+    PUBLIC_HOSTS,
+    build_ens_lyon,
+    platform_allows,
+)
+from repro.simkernel import Engine
+
+
+def test_bench_fig1a_platform_construction(benchmark):
+    platform = benchmark(build_ens_lyon)
+    fm = FlowModel(Engine(), platform)
+
+    print("\n[FIG-1a] ENS-Lyon platform reproduction")
+    print(f"  hosts: {len(platform.host_names())} "
+          f"(public={len(PUBLIC_HOSTS)}, private-domain={len(PRIVATE_HOSTS)})")
+    print(f"  nodes: {len(platform.nodes)}, links: {len(platform.links)}")
+    rows = [
+        ("the-doors -> popc0 (forward, via 10 Mbit/s bottleneck)",
+         fm.single_flow_mbps("the-doors", "popc0")),
+        ("popc0 -> the-doors (reverse, 100 Mbit/s only)",
+         fm.single_flow_mbps("popc0", "the-doors")),
+        ("popc0 <-> myri0 (local Hub 2)", fm.single_flow_mbps("popc0", "myri0")),
+        ("sci1 <-> sci2 (switched)", fm.single_flow_mbps("sci1", "sci2")),
+        ("myri1 <-> myri2 (Hub 3)", fm.single_flow_mbps("myri1", "myri2")),
+    ]
+    for label, value in rows:
+        print(f"  {label}: {value:.1f} Mbit/s")
+
+    # Shape assertions: who is fast/slow, where the asymmetry lies.
+    assert len(platform.host_names()) == 14
+    assert fm.single_flow_mbps("the-doors", "popc0") == pytest.approx(10.0)
+    assert fm.single_flow_mbps("popc0", "the-doors") == pytest.approx(100.0)
+    assert not platform.routes_are_symmetric("the-doors", "popc0")
+    # firewall: private hosts unreachable from the public side, gateways fine
+    assert not platform_allows(platform, "canaria", "sci1")
+    assert platform_allows(platform, "canaria", "sci0")
+    # hub sharing vs switch independence
+    shared = fm.steady_state_mbps([("myri1", "myri0"), ("myri2", "myri0")])
+    switched = fm.steady_state_mbps([("sci1", "sci0"), ("sci2", "sci3")])
+    assert shared[0] == pytest.approx(50.0)
+    assert switched[0] == pytest.approx(100.0)

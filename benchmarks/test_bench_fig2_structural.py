@@ -1,0 +1,41 @@
+"""FIG-2 — the structural traceroute tree (paper Figure 2).
+
+Rebuilds the tree ENV derives from the traceroutes of the public-side hosts
+and checks it has exactly the branch structure of the figure: the
+non-routable exit router at the root, the 140.77.13.1 branch holding canaria,
+moby and the-doors, and the backbone → routlhpc branch holding the myri /
+popc / sci gateways.
+"""
+
+from repro.analysis import render_structural_tree
+from repro.env import AnalyticProbeDriver, build_structural_tree
+from repro.netsim import PUBLIC_HOSTS
+
+
+def test_bench_fig2_structural_tree(benchmark, ens_lyon):
+    def build():
+        driver = AnalyticProbeDriver(ens_lyon)
+        return build_structural_tree(driver, PUBLIC_HOSTS, master="the-doors")
+
+    tree = benchmark(build)
+
+    print("\n[FIG-2] Structural topology (initial ENV tree)")
+    print(render_structural_tree(tree))
+
+    # Root: the non-routable site exit router.
+    assert tree.label == "192.168.254.1"
+    assert set(tree.children) == {"140.77.13.1", "140.77.161.1"}
+
+    public_branch = tree.children["140.77.13.1"]
+    assert sorted(public_branch.machines) == ["canaria", "moby", "the-doors"]
+    assert public_branch.children == {}
+
+    backbone_branch = tree.children["140.77.161.1"]
+    assert backbone_branch.machines == []
+    assert set(backbone_branch.children) == {"140.77.12.1"}
+    lhpc = backbone_branch.children["140.77.12.1"]
+    assert sorted(lhpc.machines) == ["myri0", "popc0", "sci0"]
+
+    # Every mapped host appears exactly once in the tree.
+    machines = tree.all_machines()
+    assert sorted(machines) == sorted(PUBLIC_HOSTS)

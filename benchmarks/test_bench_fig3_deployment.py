@@ -1,0 +1,44 @@
+"""FIG-3 — the NWS deployment plan for ENS-Lyon (paper Figure 3 / §5.1).
+
+Runs the planning algorithm on the merged effective view and checks that the
+resulting cliques are exactly the paper's:
+
+* Hub 1 (shared):   clique {canaria, moby};
+* Hub 2 (shared):   clique {myri0, popc0};
+* Hub 3 (shared):   clique {myri1, myri2};
+* sci switch:       clique of all sci hosts (gateway sci0 included);
+* inter-hub link:   clique {canaria, popc0}.
+"""
+
+from repro.analysis import render_plan
+from repro.core import build_host_configs, plan_from_view, render_config
+
+
+EXPECTED_CLIQUES = {
+    frozenset({"canaria", "moby"}),
+    frozenset({"myri0", "popc0"}),
+    frozenset({"myri1", "myri2"}),
+    frozenset({"sci0", "sci1", "sci2", "sci3", "sci4", "sci5", "sci6"}),
+    frozenset({"canaria", "popc0"}),
+}
+
+
+def test_bench_fig3_deployment_plan(benchmark, merged_view):
+    plan = benchmark(plan_from_view, merged_view)
+
+    print("\n[FIG-3] NWS deployment plan for ENS-Lyon")
+    print(render_plan(plan))
+    print("\nGenerated manager configuration file:")
+    print(render_config(plan))
+
+    assert {frozenset(c.hosts) for c in plan.cliques} == EXPECTED_CLIQUES
+    assert len(plan.cliques) == 5
+    # shared networks are monitored by exactly two hosts (intrusiveness rule)
+    shared = [c for c in plan.cliques if c.kind == "shared"]
+    assert len(shared) == 3 and all(c.size == 2 for c in shared)
+    # the manager derives one memory server per clique and a sensor per
+    # monitored host, with the name server on the ENV master
+    configs = build_host_configs(plan)
+    assert "nameserver" in configs["the-doors"].kinds()
+    memory_count = sum(cfg.kinds().count("memory") for cfg in configs.values())
+    assert memory_count == len(plan.cliques)

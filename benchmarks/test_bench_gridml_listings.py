@@ -1,0 +1,49 @@
+"""LST-GRIDML — the GridML listings of paper §4.2.1 / §4.2.2 / §4.3.
+
+Regenerates the GridML documents of each mapping phase — lookup (sites and
+machines with aliases), host properties, the structural network nesting, the
+``ENV_Switched`` description of the sci cluster — and the merged two-site
+document of the firewall workflow, and checks they contain the same element
+structure as the paper's listings.
+"""
+
+from repro.gridml import build_alias_table, from_xml, merge_documents, to_xml
+from repro.netsim import GATEWAY_ALIASES
+
+
+def test_bench_gridml_documents(benchmark, merged_view):
+    xml = benchmark(lambda: to_xml(merged_view.to_gridml()))
+
+    print("\n[LST-GRIDML] generated GridML (excerpt)")
+    print("\n".join(xml.splitlines()[:30]))
+    print(f"  ... ({len(xml.splitlines())} lines total)")
+
+    doc = from_xml(xml)
+
+    # §4.2.1.1 lookup: sites with machines carrying LABEL ip/name.
+    assert doc.site("ens-lyon.fr") is not None
+    assert doc.site("popc.private") is not None
+    canaria = doc.machine("canaria")
+    assert canaria is not None and canaria.ip == "140.77.13.229"
+
+    # §4.2.1.2 extra information: host properties are exported.
+    assert canaria.property_value("CPU_model") == "Pentium Pro"
+
+    # §4.2.1.3 structural + §4.2.2 refinement: nested NETWORK elements of the
+    # right types, with the sci cluster described as ENV_Switched and carrying
+    # the ENV_base_BW / ENV_base_local_BW properties of the paper's listing.
+    types = {n.network_type for n in doc.all_networks()}
+    assert {"Structural", "ENV_Shared", "ENV_Switched"} <= types
+    sci = next(n for n in doc.networks_of_type("ENV_Switched")
+               if "sci1" in n.machines)
+    assert len(sci.machines) == 6
+    assert sci.property_value("ENV_base_BW") is not None
+    assert sci.property_value("ENV_base_local_BW") is not None
+
+    # §4.3 firewall merge: gateways belong to both sites and carry aliases.
+    alias_table = build_alias_table(
+        [(private, public) for private, public in GATEWAY_ALIASES.items()])
+    merged = merge_documents(doc, doc, alias_table)
+    gateway = merged.machine("popc0")
+    assert gateway is not None
+    assert "popc.ens-lyon.fr" in gateway.aliases

@@ -1,0 +1,53 @@
+"""CLM-NAIVE — naive exhaustive mapping vs. ENV probing cost (§4.3).
+
+The paper estimates that exhaustively measuring every link and every pair of
+links of a 20-host platform at ~30 s per experiment would take about 50 days,
+which is why ENV only maps the view from one master.  The benchmark
+reproduces the 50-day figure from the cost model and compares it with the
+actual number of measurements an ENV run needs on platforms of growing size.
+"""
+
+import pytest
+
+from repro.analysis import (
+    compare_costs,
+    naive_mapping_experiments,
+    naive_mapping_seconds,
+    render_table,
+)
+from repro.env import map_ens_lyon, map_platform
+from repro.netsim import SyntheticSpec, generate_constellation
+
+
+def test_bench_naive_mapping_cost_headline(benchmark):
+    days = benchmark(lambda: naive_mapping_seconds(20) / 86_400.0)
+    print("\n[CLM-NAIVE] exhaustive mapping cost model")
+    print(f"  20 hosts -> {naive_mapping_experiments(20)} experiments "
+          f"at 30 s each = {days:.1f} days (paper: 'about 50 days')")
+    assert days == pytest.approx(50.0, rel=0.02)
+
+
+def test_bench_env_vs_naive_cost(benchmark, ens_lyon):
+    view = benchmark.pedantic(map_ens_lyon, args=(ens_lyon,), rounds=1,
+                              iterations=1)
+    rows = [compare_costs(14, view.stats).as_row()]
+    for sites in (2, 3, 4):
+        platform = generate_constellation(SyntheticSpec(
+            sites=sites, seed=17, hosts_per_cluster=(3, 4),
+            clusters_per_site=(2, 2)))
+        synthetic_view = map_platform(platform, platform.host_names()[0])
+        rows.append(compare_costs(len(platform.host_names()),
+                                  synthetic_view.stats).as_row())
+
+    print("\n[CLM-NAIVE] probing cost, ENV vs. exhaustive mapping "
+          "(30 s per experiment)")
+    print(render_table(rows))
+
+    for row in rows:
+        # ENV must be orders of magnitude cheaper and finish within hours, not
+        # weeks (the ENS-Lyon mapping "only lasts a few minutes" in the paper;
+        # the 30 s/test budget is the paper's own conservative assumption).
+        assert row["env_days"] < row["naive_days"] / 50
+    # the gap widens with platform size
+    speedups = [row["speedup"] for row in rows]
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,81 @@
+"""CLM-QUALITY — the four deployment constraints, ENV plan vs. baselines (§2.3/§5.1).
+
+For the ENS-Lyon platform and a synthetic constellation, evaluates the
+ENV-driven plan against topology-blind baselines (single global clique,
+uncoordinated all-pairs, random partition, per-/24-subnet grouping) on the
+four constraints: collisions, measurement period (scalability), completeness
+and intrusiveness.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (
+    compare_plans,
+    global_clique_plan,
+    independent_pairs_plan,
+    plan_from_view,
+    random_partition_plan,
+    subnet_plan,
+)
+from repro.env import map_platform
+from repro.netsim import SyntheticSpec, generate_constellation
+
+
+def _all_plans(platform, env_plan):
+    hosts = sorted(env_plan.hosts)
+    return {
+        "env (paper)": env_plan,
+        "global clique": global_clique_plan(platform, hosts),
+        "all pairs": independent_pairs_plan(platform, hosts),
+        "random partition": random_partition_plan(platform, hosts, clique_size=4),
+        "subnet /24": subnet_plan(platform, hosts),
+    }
+
+
+def test_bench_plan_quality_ens_lyon(benchmark, ens_lyon, merged_view):
+    env_plan = plan_from_view(merged_view)
+    plans = _all_plans(ens_lyon, env_plan)
+    reports = benchmark.pedantic(compare_plans, args=(plans, ens_lyon),
+                                 rounds=1, iterations=1)
+    rows = [r.as_row() for r in reports]
+    print("\n[CLM-QUALITY] deployment quality on ENS-Lyon (lower period / "
+          "intrusiveness is better, completeness 1.0 required)")
+    print(render_table(rows))
+
+    by_name = {r.planner: r for r in reports}
+    env = by_name["env (paper)"]
+    # constraint 1: no harmful collisions (unlike all-pairs / random)
+    assert env.harmful_collisions == 0
+    assert by_name["all pairs"].harmful_collisions > 0
+    # constraint 2: much better worst-case period than the global clique
+    assert env.worst_period_s < by_name["global clique"].worst_period_s / 3
+    # constraint 3: complete, unlike the topology-blind partitions
+    assert env.completeness == pytest.approx(1.0)
+    assert by_name["random partition"].completeness < 1.0
+    assert by_name["subnet /24"].completeness < 1.0
+    # constraint 4: fewer measured pairs than any complete baseline
+    assert env.measured_pairs < by_name["global clique"].measured_pairs
+    assert env.measured_pairs < by_name["all pairs"].measured_pairs
+
+
+def test_bench_plan_quality_synthetic(benchmark):
+    platform = generate_constellation(SyntheticSpec(
+        sites=3, seed=23, hosts_per_cluster=(3, 5), clusters_per_site=(2, 2)))
+    master = platform.host_names()[0]
+    view = map_platform(platform, master)
+    env_plan = plan_from_view(view)
+    plans = _all_plans(platform, env_plan)
+    reports = benchmark.pedantic(compare_plans, args=(plans, platform),
+                                 rounds=1, iterations=1)
+    rows = [r.as_row() for r in reports]
+    print(f"\n[CLM-QUALITY] deployment quality on a synthetic constellation "
+          f"({len(platform.host_names())} hosts, 3 sites)")
+    print(render_table(rows))
+
+    by_name = {r.planner: r for r in reports}
+    env = by_name["env (paper)"]
+    assert env.completeness == pytest.approx(1.0)
+    assert env.harmful_collisions <= by_name["all pairs"].harmful_collisions
+    assert env.worst_period_s < by_name["global clique"].worst_period_s
+    assert env.intrusiveness <= by_name["global clique"].intrusiveness

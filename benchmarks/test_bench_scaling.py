@@ -1,0 +1,71 @@
+"""SCALE — mapping cost and plan quality on platforms of growing size (§4.3/§6).
+
+The paper's scalability arguments are qualitative; this benchmark quantifies
+them on synthetic constellations: how the number of ENV measurements, the
+planning time and the plan quality evolve as the platform grows, compared
+with the naive exhaustive-mapping cost and with the single-global-clique
+deployment.
+"""
+
+import pytest
+
+from repro.analysis import naive_mapping_experiments, render_table
+from repro.core import evaluate_plan, global_clique_plan, plan_from_view
+from repro.env import map_platform
+from repro.netsim import SyntheticSpec, generate_constellation
+
+
+def _platform(sites: int):
+    return generate_constellation(SyntheticSpec(
+        sites=sites, seed=31, hosts_per_cluster=(3, 4), clusters_per_site=(2, 3)))
+
+
+def test_bench_scaling_with_platform_size(benchmark):
+    site_counts = (1, 2, 4, 6)
+
+    def run_all():
+        results = []
+        for sites in site_counts:
+            platform = _platform(sites)
+            master = platform.host_names()[0]
+            view = map_platform(platform, master)
+            plan = plan_from_view(view)
+            results.append((sites, platform, view, plan))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for sites, platform, view, plan in results:
+        n = len(platform.host_names())
+        quality = evaluate_plan(plan, platform)
+        global_quality = evaluate_plan(global_clique_plan(platform), platform)
+        rows.append({
+            "sites": sites,
+            "hosts": n,
+            "env_measurements": view.stats.measurements,
+            "naive_experiments": naive_mapping_experiments(n),
+            "cliques": quality.n_cliques,
+            "worst_period_s": quality.worst_period_s,
+            "global_clique_period_s": global_quality.worst_period_s,
+            "completeness": round(quality.completeness, 3),
+            "intrusiveness": round(quality.intrusiveness, 3),
+        })
+    print("\n[SCALE] ENV mapping and deployment quality vs. platform size")
+    print(render_table(rows))
+
+    hosts = [row["hosts"] for row in rows]
+    env_cost = [row["env_measurements"] for row in rows]
+    assert hosts == sorted(hosts) and hosts[-1] > hosts[0]
+    # ENV probing grows with the platform but stays far below the naive cost.
+    assert all(row["env_measurements"] < row["naive_experiments"] / 10
+               for row in rows)
+    assert env_cost == sorted(env_cost)
+    # The planned deployment keeps completeness while its worst measurement
+    # period grows much more slowly than the single global clique's.
+    for row in rows:
+        assert row["completeness"] == pytest.approx(1.0)
+    assert rows[-1]["worst_period_s"] < rows[-1]["global_clique_period_s"] / 5
+    # Intrusiveness (fraction of pairs probed directly) drops as the platform
+    # grows: the hierarchy amortises measurements.
+    assert rows[-1]["intrusiveness"] < rows[0]["intrusiveness"]

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Mapping a firewalled platform side by side and merging the views (§4.3).
+
+The popc.private domain of ENS-Lyon cannot talk to the outside world: only
+the dual-homed gateways (popc0, myri0, sci0) can.  The paper's workflow is to
+run ENV once on each side of the firewall and merge the two GridML documents,
+declaring the gateway aliases.  This example reproduces that workflow step by
+step and writes the three GridML files (public side, private side, merged).
+
+Run with:  python examples/firewalled_mapping.py [output_directory]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis import render_env_tree
+from repro.env import map_platform, merge_views
+from repro.gridml import build_alias_table, merge_documents, to_xml, write_gridml
+from repro.netsim import (
+    GATEWAY_ALIASES,
+    PRIVATE_HOSTS,
+    PUBLIC_HOSTS,
+    build_ens_lyon,
+    platform_allows,
+)
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("gridml-output")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    platform = build_ens_lyon()
+    print("Firewall check: can canaria reach sci1?",
+          platform_allows(platform, "canaria", "sci1"))
+    print("Firewall check: can canaria reach the gateway sci0?",
+          platform_allows(platform, "canaria", "sci0"))
+
+    print("\n=== ENV run #1: public side, master = the-doors ===")
+    public = map_platform(platform, "the-doors", hosts=PUBLIC_HOSTS)
+    print(render_env_tree(public.root))
+
+    print("\n=== ENV run #2: popc.private side, master = popc0 ===")
+    private = map_platform(platform, "popc0", hosts=PRIVATE_HOSTS)
+    print(render_env_tree(private.root))
+
+    print("\n=== Merge (gateway aliases of paper §4.3) ===")
+    for private_name, public_name in GATEWAY_ALIASES.items():
+        print(f"  {public_name:<22} == {private_name}")
+    merged = merge_views(public, private, {})
+    print(render_env_tree(merged.root))
+
+    # GridML documents: one per side, plus the concatenation-style merge.
+    public_doc = public.to_gridml()
+    private_doc = private.to_gridml()
+    aliases = build_alias_table(list(GATEWAY_ALIASES.items()))
+    merged_doc = merge_documents(public_doc, private_doc, aliases)
+
+    for name, doc in (("public.xml", public_doc), ("private.xml", private_doc),
+                      ("merged.xml", merged_doc)):
+        path = out_dir / name
+        write_gridml(doc, str(path))
+        print(f"\nwrote {path} ({len(to_xml(doc).splitlines())} lines)")
+
+    print("\nThe merged view is what the deployment planner consumes "
+          "(see examples/quickstart.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: the full pipeline of the paper on the ENS-Lyon platform.
+
+1. Build the (simulated) ENS-Lyon network of Figure 1(a).
+2. Map it with ENV from *the-doors* — the firewalled popc.private side is
+   mapped from *popc0* and merged — reproducing Figure 1(b).
+3. Compute the NWS deployment plan (Figure 3) and the per-host manager
+   configuration.
+4. Deploy the simulated NWS, let it monitor for five minutes and query it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_env_tree, render_plan
+from repro.core import build_host_configs, plan_from_view, render_config
+from repro.env import map_ens_lyon
+from repro.netsim import build_ens_lyon
+from repro.nws import NWSClient, NWSSystem
+
+
+def main() -> None:
+    print("=== 1. Building the ENS-Lyon platform (Figure 1(a)) ===")
+    platform = build_ens_lyon()
+    print(f"{platform}\n")
+
+    print("=== 2. ENV mapping from the-doors (Figure 1(b)) ===")
+    view = map_ens_lyon(platform)
+    print(render_env_tree(view.root))
+    print(f"\nprobing effort: {view.stats.measurements} measurements, "
+          f"{view.stats.bytes_injected / 1e6:.0f} MB injected\n")
+
+    print("=== 3. NWS deployment plan (Figure 3) ===")
+    plan = plan_from_view(view, period_s=20.0)
+    print(render_plan(plan))
+    print("\n--- manager configuration file (paper §5.2) ---")
+    print(render_config(plan))
+    configs = build_host_configs(plan)
+    print("--- processes started on each host ---")
+    for host, config in sorted(configs.items()):
+        print(f"  {host:<12} {', '.join(config.kinds())}")
+
+    print("\n=== 4. Running the simulated NWS for 300 s and querying it ===")
+    nws = NWSSystem(platform, plan)
+    nws.run(300.0)
+    client = NWSClient(nws)
+    for src, dst in [("sci1", "sci2"), ("the-doors", "moby"),
+                     ("the-doors", "sci3"), ("canaria", "myri1")]:
+        answer = client.bandwidth(src, dst)
+        print(f"  bandwidth {src:>9} -> {dst:<9}: "
+              f"{answer.forecast.value:7.1f} Mbit/s  ({answer.method})")
+    latency = client.latency("moby", "sci3")
+    print(f"  latency   {'moby':>9} -> {'sci3':<9}: "
+          f"{latency.forecast.value * 1000:7.2f} ms      ({latency.method})")
+    print(f"\n  every host pair answerable: "
+          f"{client.availability() * 100:.0f}% availability")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Scaling study: mapping cost and deployment quality vs. platform size.
+
+Sweeps synthetic WAN constellations of growing size and prints, for each:
+
+* the number of ENV measurements vs. the naive exhaustive-mapping cost the
+  paper dismisses (§4.3, "about 50 days for 20 hosts");
+* the shape of the resulting deployment plan and its quality metrics
+  (collisions, worst measurement period, completeness, intrusiveness)
+  compared with a single global clique.
+
+Run with:  python examples/scaling_study.py [max_sites]
+"""
+
+import sys
+
+from repro.analysis import (
+    compare_costs,
+    naive_mapping_experiments,
+    render_table,
+)
+from repro.core import evaluate_plan, global_clique_plan, plan_from_view
+from repro.env import map_platform
+from repro.netsim import SyntheticSpec, generate_constellation
+
+
+def main() -> None:
+    max_sites = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    rows = []
+    for sites in range(1, max_sites + 1):
+        platform = generate_constellation(SyntheticSpec(
+            sites=sites, seed=41, hosts_per_cluster=(3, 5),
+            clusters_per_site=(2, 3)))
+        n_hosts = len(platform.host_names())
+        master = platform.host_names()[0]
+        view = map_platform(platform, master)
+        plan = plan_from_view(view)
+        quality = evaluate_plan(plan, platform)
+        baseline = evaluate_plan(global_clique_plan(platform), platform)
+        cost = compare_costs(n_hosts, view.stats)
+        rows.append({
+            "sites": sites,
+            "hosts": n_hosts,
+            "ENV measurements": view.stats.measurements,
+            "naive experiments": naive_mapping_experiments(n_hosts),
+            "mapping speedup": f"x{cost.speedup:.0f}",
+            "cliques": quality.n_cliques,
+            "worst period (s)": quality.worst_period_s,
+            "global-clique period (s)": baseline.worst_period_s,
+            "completeness": round(quality.completeness, 3),
+            "intrusiveness": round(quality.intrusiveness, 3),
+        })
+        print(f"mapped {n_hosts:3d} hosts ({sites} sites): "
+              f"{view.stats.measurements} measurements, "
+              f"{quality.n_cliques} cliques")
+
+    print("\n=== scaling summary ===")
+    print(render_table(rows))
+    print("\nReading: the ENV-driven deployment keeps completeness at 1.0 and a "
+          "bounded worst-case measurement period while the naive mapping cost "
+          "and the single-clique period explode with the platform size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Automatic deployment of the Network Weather
+Service using the Effective Network View" (Legrand & Quinson, 2003).
+
+The package is organised as the paper's pipeline:
+
+* :mod:`repro.simkernel` — discrete-event simulation kernel;
+* :mod:`repro.netsim`   — simulated network platforms (the evaluation substrate);
+* :mod:`repro.gridml`   — the GridML description format used by ENV;
+* :mod:`repro.env`      — the Effective Network View mapper;
+* :mod:`repro.core`     — the paper's contribution: deployment planning,
+  constraint checking, quality metrics, baselines and the NWS manager;
+* :mod:`repro.nws`      — a simulated Network Weather Service running the plans;
+* :mod:`repro.analysis` — scoring, cost models and report rendering.
+
+Quick start::
+
+    from repro.netsim import build_ens_lyon
+    from repro.env import map_ens_lyon
+    from repro.core import plan_from_view
+    from repro.nws import NWSSystem, NWSClient
+
+    platform = build_ens_lyon()
+    view = map_ens_lyon(platform)          # ENV mapping (Figure 1(b))
+    plan = plan_from_view(view)            # NWS deployment plan (Figure 3)
+    nws = NWSSystem(platform, plan)
+    nws.run(300.0)                         # five simulated minutes
+    print(NWSClient(nws).bandwidth("the-doors", "sci3"))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

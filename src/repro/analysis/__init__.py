@@ -1,0 +1,20 @@
+"""Analysis and reporting: scoring, cost models, frequency and ASCII reports."""
+
+from .costmodel import (
+    MappingCostComparison,
+    compare_costs,
+    env_mapping_seconds,
+    naive_mapping_experiments,
+    naive_mapping_seconds,
+)
+from .frequency import PairFrequency, frequency_vs_clique_size, measurement_intervals
+from .report import render_env_tree, render_plan, render_structural_tree, render_table
+from .scoring import GroupScore, MappingScore, score_view
+
+__all__ = [
+    "naive_mapping_experiments", "naive_mapping_seconds", "env_mapping_seconds",
+    "compare_costs", "MappingCostComparison",
+    "score_view", "MappingScore", "GroupScore",
+    "render_table", "render_env_tree", "render_structural_tree", "render_plan",
+    "measurement_intervals", "frequency_vs_clique_size", "PairFrequency",
+]

@@ -1,0 +1,90 @@
+"""Mapping cost models (paper §4.3, "Master/Slave paradigm").
+
+The paper dismisses exhaustive mapping with a back-of-the-envelope estimate:
+a naive approach would first run the ``n(n−1)`` one-way bandwidth tests, then
+test every ordered pair of links against every other to find interferences;
+at roughly half a minute per experiment that is *"about 50 days for 20
+hosts"*.  ENV avoids this by only mapping the view from one master.
+
+This module provides both cost models so the CLM-NAIVE benchmark can
+reproduce that comparison: the analytic naive cost, and the actual probe
+count of an ENV run converted to wall-clock time with the same
+seconds-per-experiment assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..env.probes import ProbeStats, SECONDS_PER_MEASUREMENT
+
+__all__ = ["naive_mapping_experiments", "naive_mapping_seconds",
+           "env_mapping_seconds", "MappingCostComparison", "compare_costs"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def naive_mapping_experiments(n_hosts: int) -> int:
+    """Number of experiments of the exhaustive mapping of ``n_hosts``.
+
+    ``n(n−1)`` single-link bandwidth tests plus one interference test for
+    every ordered pair of distinct links (the paper's accounting, which gives
+    ≈ 144 000 experiments and hence ≈ 50 days for 20 hosts).
+    """
+    if n_hosts < 2:
+        return 0
+    links = n_hosts * (n_hosts - 1)
+    return links + links * (links - 1)
+
+
+def naive_mapping_seconds(n_hosts: int,
+                          seconds_per_experiment: float = SECONDS_PER_MEASUREMENT
+                          ) -> float:
+    """Wall-clock estimate of the exhaustive mapping."""
+    return naive_mapping_experiments(n_hosts) * seconds_per_experiment
+
+
+def env_mapping_seconds(stats: ProbeStats,
+                        seconds_per_experiment: float = SECONDS_PER_MEASUREMENT
+                        ) -> float:
+    """Wall-clock estimate of an ENV mapping from its probe statistics."""
+    return stats.measurements * seconds_per_experiment
+
+
+@dataclass(frozen=True)
+class MappingCostComparison:
+    """Side-by-side cost of naive exhaustive mapping vs. ENV."""
+
+    n_hosts: int
+    naive_experiments: int
+    naive_days: float
+    env_measurements: int
+    env_days: float
+    speedup: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "hosts": self.n_hosts,
+            "naive_experiments": self.naive_experiments,
+            "naive_days": round(self.naive_days, 2),
+            "env_experiments": self.env_measurements,
+            "env_days": round(self.env_days, 4),
+            "speedup": round(self.speedup, 1),
+        }
+
+
+def compare_costs(n_hosts: int, stats: ProbeStats,
+                  seconds_per_experiment: float = SECONDS_PER_MEASUREMENT
+                  ) -> MappingCostComparison:
+    """Build the naive-vs-ENV comparison for a platform of ``n_hosts``."""
+    naive_s = naive_mapping_seconds(n_hosts, seconds_per_experiment)
+    env_s = env_mapping_seconds(stats, seconds_per_experiment)
+    return MappingCostComparison(
+        n_hosts=n_hosts,
+        naive_experiments=naive_mapping_experiments(n_hosts),
+        naive_days=naive_s / SECONDS_PER_DAY,
+        env_measurements=stats.measurements,
+        env_days=env_s / SECONDS_PER_DAY,
+        speedup=(naive_s / env_s) if env_s > 0 else float("inf"),
+    )

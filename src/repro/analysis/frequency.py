@@ -1,0 +1,77 @@
+"""Empirical measurement-frequency analysis (experiment CLM-FREQ).
+
+Paper §2.3: *"The token-ring algorithms are known to be not very scalable,
+and the frequency of the measurements obviously decreases when the number of
+hosts in a given clique increases."*  This module measures that effect on the
+running NWS simulator: it extracts, from the trace of a run, the time between
+two successive measurements of the same host pair, per clique, and relates it
+to the clique size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+import numpy as np
+
+from ..nws.system import NWSSystem
+
+__all__ = ["PairFrequency", "measurement_intervals", "frequency_vs_clique_size"]
+
+
+@dataclass(frozen=True)
+class PairFrequency:
+    """Observed measurement cadence of one host pair."""
+
+    pair: FrozenSet[str]
+    clique: str
+    samples: int
+    mean_interval_s: float
+
+    @property
+    def frequency_hz(self) -> float:
+        if self.mean_interval_s <= 0:
+            return float("inf")
+        return 1.0 / self.mean_interval_s
+
+
+def measurement_intervals(system: NWSSystem) -> List[PairFrequency]:
+    """Per-pair measurement statistics extracted from a run's trace."""
+    by_pair: Dict[FrozenSet[str], Dict[str, List[float]]] = {}
+    for record in system.tracer.select("nws.experiment_end"):
+        pair = frozenset((record["src"], record["dst"]))
+        entry = by_pair.setdefault(pair, {"times": [], "clique": record["clique"]})
+        entry["times"].append(record.time)
+    out: List[PairFrequency] = []
+    for pair, entry in by_pair.items():
+        times = sorted(entry["times"])
+        if len(times) < 2:
+            interval = float("inf")
+        else:
+            interval = float(np.mean(np.diff(times)))
+        out.append(PairFrequency(pair=pair, clique=str(entry["clique"]),
+                                 samples=len(times), mean_interval_s=interval))
+    return out
+
+
+def frequency_vs_clique_size(system: NWSSystem) -> List[Dict[str, object]]:
+    """Rows of (clique, size, mean interval, mean frequency) for the report."""
+    intervals = measurement_intervals(system)
+    rows: List[Dict[str, object]] = []
+    for clique_name, runner in sorted(system.cliques.items()):
+        pair_stats = [p for p in intervals if p.clique == clique_name
+                      and p.mean_interval_s != float("inf")]
+        if pair_stats:
+            mean_interval = float(np.mean([p.mean_interval_s for p in pair_stats]))
+        else:
+            mean_interval = float("inf")
+        rows.append({
+            "clique": clique_name,
+            "size": len(runner.members),
+            "pairs": len(pair_stats),
+            "mean_interval_s": (round(mean_interval, 2)
+                                if mean_interval != float("inf") else "inf"),
+            "measurements": runner.stats.experiments,
+        })
+    return rows

@@ -1,0 +1,75 @@
+"""Plain-text reporting helpers.
+
+The benchmarks print the rows/series the paper's figures convey; these
+helpers render host trees, deployment plans and tabular data as ASCII so the
+output of ``pytest benchmarks/`` is directly comparable to the paper's
+figures (Figure 1(b), Figure 2 and Figure 3 are all topology drawings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.plan import DeploymentPlan
+from ..env.envtree import ENVNetwork, ENVView
+from ..env.structural import StructuralNode
+
+__all__ = ["render_table", "render_env_tree", "render_structural_tree",
+           "render_plan"]
+
+
+def render_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(str(row.get(col, ""))))
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "-+-".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(" | ".join(str(row.get(col, "")).ljust(widths[col])
+                                for col in columns))
+    return "\n".join(lines)
+
+
+def render_env_tree(net: ENVNetwork, indent: int = 0) -> str:
+    """Render an effective-view tree (the shape of Figure 1(b))."""
+    pad = "  " * indent
+    parts = [f"{pad}[{net.kind}] {net.label}"]
+    if net.hosts:
+        parts.append(f"{pad}  hosts: {', '.join(sorted(net.hosts))}")
+    details = []
+    if net.gateway:
+        details.append(f"gateway={net.gateway}")
+    if net.base_bandwidth_mbps is not None:
+        details.append(f"base_BW={net.base_bandwidth_mbps:.1f}Mbps")
+    if net.local_bandwidth_mbps is not None:
+        details.append(f"local_BW={net.local_bandwidth_mbps:.1f}Mbps")
+    if details:
+        parts.append(f"{pad}  ({', '.join(details)})")
+    lines = ["\n".join(parts)]
+    for child in net.children:
+        lines.append(render_env_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def render_structural_tree(node: StructuralNode, indent: int = 0) -> str:
+    """Render a structural tree (the shape of Figure 2)."""
+    pad = "  " * indent
+    lines = [f"{pad}{node.label}"]
+    for machine in sorted(node.machines):
+        lines.append(f"{pad}  - {machine}")
+    for child in node.children.values():
+        lines.append(render_structural_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def render_plan(plan: DeploymentPlan) -> str:
+    """Render a deployment plan (the content of Figure 3)."""
+    return plan.describe()

@@ -1,0 +1,110 @@
+"""Scoring an effective view against the ground-truth grouping.
+
+The simulated platforms record which hosts really share a segment and of
+which kind (hub or switch); this module compares an ENV view's grouping to
+that ground truth, producing the accuracy figures used by the FIG-1b
+benchmark and the threshold/master ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..env.envtree import ENVView, KIND_SHARED, KIND_SWITCHED
+
+__all__ = ["GroupScore", "MappingScore", "score_view"]
+
+
+@dataclass(frozen=True)
+class GroupScore:
+    """How well one ground-truth group was recovered."""
+
+    name: str
+    expected_hosts: Tuple[str, ...]
+    expected_kind: str
+    best_match_label: Optional[str]
+    jaccard: float
+    kind_correct: bool
+
+
+@dataclass
+class MappingScore:
+    """Aggregate accuracy of an effective view."""
+
+    groups: List[GroupScore]
+
+    @property
+    def mean_jaccard(self) -> float:
+        if not self.groups:
+            return 1.0
+        return sum(g.jaccard for g in self.groups) / len(self.groups)
+
+    @property
+    def kind_accuracy(self) -> float:
+        if not self.groups:
+            return 1.0
+        return sum(1 for g in self.groups if g.kind_correct) / len(self.groups)
+
+    @property
+    def perfect(self) -> bool:
+        return all(g.jaccard == 1.0 and g.kind_correct for g in self.groups)
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "groups": len(self.groups),
+            "mean_jaccard": round(self.mean_jaccard, 3),
+            "kind_accuracy": round(self.kind_accuracy, 3),
+            "perfect": self.perfect,
+        }
+
+
+def _jaccard(a: Set[str], b: Set[str]) -> float:
+    if not a and not b:
+        return 1.0
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def score_view(view: ENVView,
+               ground_truth: Mapping[str, Mapping[str, object]],
+               ignore_hosts: Optional[Set[str]] = None) -> MappingScore:
+    """Score ``view`` against ``ground_truth``.
+
+    ``ground_truth`` maps group names to ``{"hosts": set, "kind": str}``
+    (the format produced by the platform generators and
+    :func:`repro.netsim.ens_lyon.expected_effective_groups`).
+    ``ignore_hosts`` are removed from both sides before matching — the ENV
+    master for instance legitimately appears in its home network even when
+    the ground-truth grouping omits it.
+    """
+    ignore = set(ignore_hosts or set())
+    discovered = []
+    for net in view.classified_networks():
+        discovered.append((net.label, set(net.hosts) - ignore, net.kind))
+
+    scores: List[GroupScore] = []
+    for name, spec in sorted(ground_truth.items()):
+        expected_hosts = set(spec["hosts"]) - ignore  # type: ignore[arg-type]
+        expected_kind = str(spec["kind"])
+        best_label: Optional[str] = None
+        best_jaccard = 0.0
+        best_kind = ""
+        for label, hosts, kind in discovered:
+            jac = _jaccard(expected_hosts, hosts)
+            if jac > best_jaccard:
+                best_jaccard = jac
+                best_label = label
+                best_kind = kind
+        kind_correct = (best_kind == expected_kind) if best_label is not None else False
+        scores.append(GroupScore(
+            name=name,
+            expected_hosts=tuple(sorted(expected_hosts)),
+            expected_kind=expected_kind,
+            best_match_label=best_label,
+            jaccard=best_jaccard,
+            kind_correct=kind_correct,
+        ))
+    return MappingScore(groups=scores)

@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` drives the whole pipeline from a shell,
+mirroring how the original tools were used (run ENV, look at the view, derive
+the NWS configuration, check its quality):
+
+* ``map``      — run the ENV mapping and print the effective view (optionally
+                 writing the GridML document);
+* ``plan``     — compute the NWS deployment plan and print the manager
+                 configuration file;
+* ``quality``  — evaluate the ENV plan against the topology-blind baselines;
+* ``monitor``  — deploy the simulated NWS, run it, and print forecasts.
+
+The platform is either the paper's ENS-Lyon LAN (``--platform ens-lyon``,
+default) or a seeded synthetic constellation (``--platform synthetic``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from .analysis import render_env_tree, render_plan, render_table
+from .core import (
+    compare_plans,
+    global_clique_plan,
+    independent_pairs_plan,
+    plan_from_view,
+    random_partition_plan,
+    render_config,
+    subnet_plan,
+)
+from .env import map_ens_lyon, map_platform
+from .gridml import write_gridml
+from .netsim import SyntheticSpec, build_ens_lyon, generate_constellation
+from .nws import NWSClient, NWSSystem
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_platform(args: argparse.Namespace):
+    if args.platform == "ens-lyon":
+        return build_ens_lyon()
+    spec = SyntheticSpec(sites=args.sites, seed=args.seed)
+    return generate_constellation(spec)
+
+
+def _map_view(platform, args: argparse.Namespace):
+    if args.platform == "ens-lyon":
+        return map_ens_lyon(platform, master=args.master or "the-doors")
+    master = args.master or platform.host_names()[0]
+    return map_platform(platform, master)
+
+
+def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", choices=("ens-lyon", "synthetic"),
+                        default="ens-lyon",
+                        help="platform to operate on (default: ens-lyon)")
+    parser.add_argument("--master", default=None,
+                        help="ENV master host (default: the-doors / first host)")
+    parser.add_argument("--sites", type=int, default=2,
+                        help="synthetic platform: number of sites")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="synthetic platform: generator seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser of the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatic NWS deployment from the Effective Network View",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="run the ENV mapping and print the view")
+    _add_platform_arguments(p_map)
+    p_map.add_argument("--gridml", default=None,
+                       help="write the GridML document to this path")
+
+    p_plan = sub.add_parser("plan", help="compute the NWS deployment plan")
+    _add_platform_arguments(p_plan)
+    p_plan.add_argument("--period", type=float, default=60.0,
+                        help="target measurement period per clique (seconds)")
+    p_plan.add_argument("--config-out", default=None,
+                        help="write the manager configuration file to this path")
+
+    p_quality = sub.add_parser("quality",
+                               help="compare the ENV plan with baseline plans")
+    _add_platform_arguments(p_quality)
+
+    p_monitor = sub.add_parser("monitor",
+                               help="deploy the simulated NWS and query it")
+    _add_platform_arguments(p_monitor)
+    p_monitor.add_argument("--duration", type=float, default=300.0,
+                           help="simulated monitoring duration (seconds)")
+    p_monitor.add_argument("--pairs", nargs="*", default=[],
+                           metavar="SRC:DST",
+                           help="host pairs to query (default: a small sample)")
+    return parser
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    platform = _build_platform(args)
+    view = _map_view(platform, args)
+    print(render_env_tree(view.root))
+    print(f"\nprobing effort: {view.stats.measurements} measurements, "
+          f"{view.stats.bytes_injected / 1e6:.0f} MB injected, "
+          f"{view.stats.traceroutes} traceroutes")
+    if args.gridml:
+        write_gridml(view.to_gridml(), args.gridml)
+        print(f"GridML written to {args.gridml}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    platform = _build_platform(args)
+    view = _map_view(platform, args)
+    plan = plan_from_view(view, period_s=args.period)
+    print(render_plan(plan))
+    print()
+    config_text = render_config(plan)
+    print(config_text)
+    if args.config_out:
+        with open(args.config_out, "w", encoding="utf-8") as handle:
+            handle.write(config_text)
+        print(f"configuration written to {args.config_out}")
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    platform = _build_platform(args)
+    view = _map_view(platform, args)
+    env_plan = plan_from_view(view)
+    hosts = sorted(env_plan.hosts)
+    plans = {
+        "env": env_plan,
+        "global-clique": global_clique_plan(platform, hosts),
+        "all-pairs": independent_pairs_plan(platform, hosts),
+        "random": random_partition_plan(platform, hosts, clique_size=4),
+        "subnet": subnet_plan(platform, hosts),
+    }
+    reports = compare_plans(plans, platform)
+    print(render_table([r.as_row() for r in reports]))
+    return 0
+
+
+def _parse_pairs(raw: List[str]) -> List[Tuple[str, str]]:
+    pairs = []
+    for item in raw:
+        if ":" not in item:
+            raise ValueError(f"pair {item!r} must be SRC:DST")
+        src, dst = item.split(":", 1)
+        pairs.append((src, dst))
+    return pairs
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    platform = _build_platform(args)
+    view = _map_view(platform, args)
+    plan = plan_from_view(view, period_s=20.0)
+    system = NWSSystem(platform, plan)
+    system.run(args.duration)
+    client = NWSClient(system)
+    pairs = _parse_pairs(args.pairs)
+    if not pairs:
+        hosts = sorted(plan.hosts)
+        pairs = [(hosts[0], h) for h in hosts[1:4]]
+    rows = []
+    for src, dst in pairs:
+        answer = client.bandwidth(src, dst)
+        rows.append({
+            "src": src, "dst": dst,
+            "bandwidth (Mbit/s)": (round(answer.forecast.value, 1)
+                                   if answer.available else "n/a"),
+            "answered by": answer.method,
+        })
+    print(f"monitored for {args.duration:g} simulated seconds; "
+          f"experiments per clique: {system.measurement_counts()}")
+    print(render_table(rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` command; returns the exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "map": _cmd_map,
+        "plan": _cmd_plan,
+        "quality": _cmd_quality,
+        "monitor": _cmd_monitor,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Core contribution: automatic NWS deployment planning from ENV views."""
+
+from .aggregation import Aggregator, LinkEstimate, ground_truth_store
+from .baselines import (
+    global_clique_plan,
+    independent_pairs_plan,
+    random_partition_plan,
+    subnet_plan,
+)
+from .constraints import (
+    CollisionReport,
+    ConstraintReport,
+    check_completeness,
+    check_constraints,
+    coverage_graph,
+    find_collisions,
+)
+from .manager import HostConfig, ProcessSpec, build_host_configs, parse_config, render_config
+from .plan import Clique, DeploymentPlan, host_pair
+from .planner import EnvDeploymentPlanner, plan_from_view
+from .quality import (
+    QualityReport,
+    compare_plans,
+    completeness_accuracy,
+    evaluate_plan,
+    harmful_collisions,
+    measurement_periods,
+)
+
+__all__ = [
+    "Clique", "DeploymentPlan", "host_pair",
+    "EnvDeploymentPlanner", "plan_from_view",
+    "global_clique_plan", "independent_pairs_plan", "random_partition_plan",
+    "subnet_plan",
+    "CollisionReport", "ConstraintReport", "find_collisions", "check_completeness",
+    "check_constraints", "coverage_graph",
+    "Aggregator", "LinkEstimate", "ground_truth_store",
+    "QualityReport", "evaluate_plan", "compare_plans", "harmful_collisions",
+    "measurement_periods", "completeness_accuracy",
+    "HostConfig", "ProcessSpec", "build_host_configs", "render_config", "parse_config",
+]

@@ -1,0 +1,132 @@
+"""Baseline deployment planners.
+
+The paper argues qualitatively that its ENV-driven plan is preferable to the
+obvious alternatives; the benchmark CLM-QUALITY quantifies that comparison.
+Three baselines capture what a user could do without topology knowledge:
+
+* :func:`global_clique_plan` — one clique containing every host.  Trivially
+  collision-free and complete, but the token ring serialises *all*
+  measurements, so per-pair frequency collapses as the platform grows
+  (the scalability constraint of §2.3).
+* :func:`independent_pairs_plan` — measure every host pair without any
+  coordination (each pair is its own two-host clique).  Maximal frequency and
+  completeness but experiments collide on every shared medium, corrupting
+  results, and the probe traffic is maximal (intrusiveness constraint).
+* :func:`random_partition_plan` — split hosts into fixed-size cliques at
+  random, ignoring topology.  Keeps cliques small but both misses links
+  (completeness) and lets cliques collide on shared media.
+* :func:`subnet_plan` — group hosts by IP /24 subnet, the "reasonable manual
+  guess" an administrator might make from addressing alone; VLANs and
+  dual-homed gateways make it diverge from physical sharing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..netsim.topology import Platform
+from .plan import Clique, DeploymentPlan
+
+__all__ = ["global_clique_plan", "independent_pairs_plan",
+           "random_partition_plan", "subnet_plan"]
+
+
+def _host_list(platform: Platform, hosts: Optional[Sequence[str]]) -> List[str]:
+    return sorted(hosts) if hosts is not None else platform.host_names()
+
+
+def global_clique_plan(platform: Platform, hosts: Optional[Sequence[str]] = None,
+                       period_s: float = 60.0) -> DeploymentPlan:
+    """One single clique containing every monitored host."""
+    names = _host_list(platform, hosts)
+    plan = DeploymentPlan(hosts=names, nameserver_host=names[0] if names else None)
+    plan.notes["planner"] = "global-clique"
+    if len(names) >= 2:
+        plan.cliques.append(Clique(name="clique-global", hosts=tuple(names),
+                                   network_label="*", kind="global",
+                                   period_s=period_s))
+    return plan
+
+
+def independent_pairs_plan(platform: Platform,
+                           hosts: Optional[Sequence[str]] = None,
+                           period_s: float = 60.0) -> DeploymentPlan:
+    """Every host pair measured independently, with no mutual exclusion."""
+    names = _host_list(platform, hosts)
+    plan = DeploymentPlan(hosts=names, nameserver_host=names[0] if names else None)
+    plan.notes["planner"] = "independent-pairs"
+    for idx, (a, b) in enumerate(itertools.combinations(names, 2)):
+        plan.cliques.append(Clique(name=f"pair-{idx:04d}", hosts=(a, b),
+                                   network_label=f"{a}|{b}", kind="adhoc",
+                                   period_s=period_s))
+    return plan
+
+
+def random_partition_plan(platform: Platform,
+                          hosts: Optional[Sequence[str]] = None,
+                          clique_size: int = 4, seed: int = 0,
+                          period_s: float = 60.0) -> DeploymentPlan:
+    """Topology-blind partition into cliques of roughly ``clique_size`` hosts."""
+    if clique_size < 2:
+        raise ValueError("clique_size must be >= 2")
+    names = _host_list(platform, hosts)
+    rng = np.random.default_rng(seed)
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    plan = DeploymentPlan(hosts=names, nameserver_host=names[0] if names else None)
+    plan.notes["planner"] = "random-partition"
+    plan.notes["clique_size"] = clique_size
+    groups: List[List[str]] = [shuffled[i:i + clique_size]
+                               for i in range(0, len(shuffled), clique_size)]
+    # A trailing singleton cannot form a clique: merge it into the previous group.
+    if len(groups) >= 2 and len(groups[-1]) == 1:
+        groups[-2].extend(groups.pop())
+    for idx, group in enumerate(groups):
+        if len(group) >= 2:
+            plan.cliques.append(Clique(name=f"random-{idx:03d}",
+                                       hosts=tuple(sorted(group)),
+                                       network_label=f"partition-{idx}",
+                                       kind="adhoc", period_s=period_s))
+    return plan
+
+
+def subnet_plan(platform: Platform, hosts: Optional[Sequence[str]] = None,
+                period_s: float = 60.0) -> DeploymentPlan:
+    """Group hosts by their /24 subnet (an addressing-based manual guess)."""
+    names = _host_list(platform, hosts)
+    plan = DeploymentPlan(hosts=names, nameserver_host=names[0] if names else None)
+    plan.notes["planner"] = "subnet"
+    groups: Dict[str, List[str]] = {}
+    for name in names:
+        node = platform.nodes.get(name)
+        if node is None or node.ip is None:
+            key = "unknown"
+        else:
+            octets = node.ip.octets
+            key = f"{octets[0]}.{octets[1]}.{octets[2]}.0/24"
+        groups.setdefault(key, []).append(name)
+    singles: List[str] = []
+    for key, group in sorted(groups.items()):
+        if len(group) >= 2:
+            plan.cliques.append(Clique(name=f"subnet-{key.replace('/', '_')}",
+                                       hosts=tuple(sorted(group)),
+                                       network_label=key, kind="adhoc",
+                                       period_s=period_s))
+        else:
+            singles.extend(group)
+    # Hosts alone in their subnet are attached to a catch-all clique so the
+    # plan still covers them.
+    if len(singles) >= 2:
+        plan.cliques.append(Clique(name="subnet-misc", hosts=tuple(sorted(singles)),
+                                   network_label="misc", kind="adhoc",
+                                   period_s=period_s))
+    elif len(singles) == 1 and plan.cliques:
+        first = plan.cliques[0]
+        plan.cliques[0] = Clique(name=first.name,
+                                 hosts=tuple(sorted(first.hosts + tuple(singles))),
+                                 network_label=first.network_label,
+                                 kind=first.kind, period_s=first.period_s)
+    return plan

@@ -1,0 +1,188 @@
+"""Validation of the four NWS deployment constraints (paper §2.3).
+
+Given a deployment plan and the *ground-truth* platform, the validators
+check:
+
+1. **No colliding experiments** — no two distinct cliques may run experiments
+   whose routes share a physical constraint (link direction or hub segment):
+   inside one clique the token ring serialises experiments, but across
+   cliques nothing does.
+2. **Scalability** — cliques should stay small; the check reports cliques
+   larger than a configurable bound (the measurement period grows linearly
+   with the number of pairs in the clique).
+3. **Completeness** — every host pair must be answerable: measured directly,
+   covered by a representative pair, or composable from measured segments
+   (aggregation along a path of measured pairs).
+4. **Reduced intrusiveness** — the share of pairs measured directly should
+   stay low; redundant measurements of the same shared segment are reported.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..netsim.topology import Platform
+from .plan import Clique, DeploymentPlan
+
+__all__ = ["CollisionReport", "ConstraintReport", "find_collisions",
+           "check_completeness", "coverage_graph", "check_constraints"]
+
+
+@dataclass(frozen=True)
+class CollisionReport:
+    """Two experiments from different cliques that can share a physical element."""
+
+    clique_a: str
+    clique_b: str
+    pair_a: Tuple[str, str]
+    pair_b: Tuple[str, str]
+    shared_elements: Tuple[Tuple, ...]
+
+
+@dataclass
+class ConstraintReport:
+    """Outcome of checking the four constraints for one plan."""
+
+    collisions: List[CollisionReport] = field(default_factory=list)
+    oversized_cliques: List[str] = field(default_factory=list)
+    unreachable_pairs: List[FrozenSet[str]] = field(default_factory=list)
+    uncovered_hosts: List[str] = field(default_factory=list)
+    directly_measured_pairs: int = 0
+    total_pairs: int = 0
+    redundant_segment_measurements: Dict[Tuple, int] = field(default_factory=dict)
+
+    @property
+    def collision_free(self) -> bool:
+        return not self.collisions
+
+    @property
+    def complete(self) -> bool:
+        return not self.unreachable_pairs and not self.uncovered_hosts
+
+    @property
+    def intrusiveness(self) -> float:
+        """Fraction of host pairs measured directly (lower is less intrusive)."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.directly_measured_pairs / self.total_pairs
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "collision_free": self.collision_free,
+            "collisions": len(self.collisions),
+            "complete": self.complete,
+            "unreachable_pairs": len(self.unreachable_pairs),
+            "uncovered_hosts": len(self.uncovered_hosts),
+            "oversized_cliques": len(self.oversized_cliques),
+            "intrusiveness": round(self.intrusiveness, 4),
+            "redundant_segments": len(self.redundant_segment_measurements),
+        }
+
+
+def find_collisions(plan: DeploymentPlan, platform: Platform,
+                    max_reports: int = 100_000) -> List[CollisionReport]:
+    """All potential cross-clique experiment collisions.
+
+    Two experiments collide when their routes share a constraint key and they
+    can run simultaneously, i.e. they belong to different cliques and involve
+    four distinct hosts is *not* required: a host taking part in two cliques
+    can be driven into two experiments at once, which is also a collision (on
+    the host's own interface) — however, following the paper, we only count
+    *network* collisions here: shared link or hub constraints.
+    """
+    reports: List[CollisionReport] = []
+    cliques = plan.cliques
+    for i, ca in enumerate(cliques):
+        pairs_a = ca.unordered_pairs()
+        for cb in cliques[i + 1:]:
+            pairs_b = cb.unordered_pairs()
+            for pa in pairs_a:
+                a1, a2 = sorted(pa)
+                for pb in pairs_b:
+                    b1, b2 = sorted(pb)
+                    if pa == pb:
+                        shared = tuple(sorted(
+                            set(platform.route(a1, a2).constraint_keys(platform))))
+                    else:
+                        shared = tuple(platform.shared_elements((a1, a2), (b1, b2)))
+                    if shared:
+                        reports.append(CollisionReport(
+                            clique_a=ca.name, clique_b=cb.name,
+                            pair_a=(a1, a2), pair_b=(b1, b2),
+                            shared_elements=shared))
+                        if len(reports) >= max_reports:
+                            return reports
+    return reports
+
+
+def coverage_graph(plan: DeploymentPlan) -> nx.Graph:
+    """Graph whose edges are host pairs answerable without aggregation.
+
+    Edges carry ``source`` = the measured pair providing the data (itself or
+    a representative).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(plan.hosts)
+    for clique in plan.cliques:
+        for pair in clique.unordered_pairs():
+            a, b = sorted(pair)
+            graph.add_edge(a, b, source=pair, direct=True)
+    for pair, rep in plan.representatives.items():
+        a, b = sorted(pair)
+        if not graph.has_edge(a, b):
+            graph.add_edge(a, b, source=rep, direct=False)
+    return graph
+
+
+def check_completeness(plan: DeploymentPlan) -> Tuple[List[FrozenSet[str]], List[str]]:
+    """Pairs that cannot be answered even by aggregation, and uncovered hosts.
+
+    A host is *uncovered* when no measurement concerns it at all — it neither
+    belongs to a clique nor benefits from a representative pair.  Hosts of a
+    shared network that are not part of the two-host representative clique
+    are still covered (the paper's plan deliberately leaves them out of the
+    clique), so they do not count as uncovered.
+    """
+    graph = coverage_graph(plan)
+    uncovered_hosts = sorted(host for host in plan.hosts
+                             if graph.degree(host) == 0)
+    unreachable: List[FrozenSet[str]] = []
+    components = {host: idx
+                  for idx, comp in enumerate(nx.connected_components(graph))
+                  for host in comp}
+    for a, b in itertools.combinations(sorted(plan.hosts), 2):
+        if components.get(a) != components.get(b):
+            unreachable.append(frozenset((a, b)))
+    return unreachable, uncovered_hosts
+
+
+def _segment_measurement_counts(plan: DeploymentPlan,
+                                platform: Platform) -> Dict[Tuple, int]:
+    """How many distinct cliques measure each shared (hub) segment."""
+    counts: Dict[Tuple, Set[str]] = {}
+    for clique in plan.cliques:
+        for pair in clique.unordered_pairs():
+            a, b = sorted(pair)
+            for key in platform.route(a, b).constraint_keys(platform):
+                if key[0] == "hub":
+                    counts.setdefault(key, set()).add(clique.name)
+    return {key: len(names) for key, names in counts.items() if len(names) > 1}
+
+
+def check_constraints(plan: DeploymentPlan, platform: Platform,
+                      max_clique_size: int = 10) -> ConstraintReport:
+    """Check the four §2.3 constraints for ``plan`` on ``platform``."""
+    report = ConstraintReport()
+    report.collisions = find_collisions(plan, platform)
+    report.oversized_cliques = [c.name for c in plan.cliques
+                                if c.size > max_clique_size]
+    report.unreachable_pairs, report.uncovered_hosts = check_completeness(plan)
+    n = len(plan.hosts)
+    report.total_pairs = n * (n - 1) // 2
+    report.directly_measured_pairs = len(plan.measured_pairs())
+    report.redundant_segment_measurements = _segment_measurement_counts(plan, platform)
+    return report

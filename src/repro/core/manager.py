@@ -1,0 +1,173 @@
+"""NWS manager: applying a deployment plan (paper §5.2).
+
+The official NWS offers little process-management support: every daemon must
+be started by hand on the right host with the right options.  The paper's
+authors wrote a small manager driven by a single configuration file shared by
+all hosts; each host reads the file and starts its local processes.
+
+This module reproduces that workflow: :func:`build_host_configs` derives,
+from a :class:`~repro.core.plan.DeploymentPlan`, which NWS processes each
+host must run (name server, memory server, sensor, forecaster) and with which
+options (clique memberships, periods, name-server address), and
+:func:`render_config` / :func:`parse_config` serialise that shared
+configuration file.  The NWS simulator consumes the same configs to
+instantiate its daemons, closing the loop from ENV output to a running
+(simulated) monitoring system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .plan import Clique, DeploymentPlan
+
+__all__ = ["ProcessSpec", "HostConfig", "build_host_configs", "render_config",
+           "parse_config"]
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """One NWS process to start on a host."""
+
+    kind: str                     # "nameserver" | "memory" | "sensor" | "forecaster"
+    options: Dict[str, str] = field(default_factory=dict)
+
+    def command_line(self) -> str:
+        """The equivalent NWS command line (documentation / debugging aid)."""
+        binary = {
+            "nameserver": "nws_nameserver",
+            "memory": "nws_memory",
+            "sensor": "nws_sensor",
+            "forecaster": "nws_forecast",
+        }[self.kind]
+        opts = " ".join(f"--{key} {value}" for key, value in sorted(self.options.items()))
+        return f"{binary} {opts}".strip()
+
+
+@dataclass
+class HostConfig:
+    """All NWS processes one host must run."""
+
+    host: str
+    processes: List[ProcessSpec] = field(default_factory=list)
+
+    def kinds(self) -> List[str]:
+        return [proc.kind for proc in self.processes]
+
+
+def build_host_configs(plan: DeploymentPlan,
+                       memory_hosts: Optional[Sequence[str]] = None
+                       ) -> Dict[str, HostConfig]:
+    """Derive per-host process configurations from a deployment plan.
+
+    * the plan's ``nameserver_host`` runs the name server and the forecaster;
+    * each clique's first host runs a memory server storing that clique's
+      series (unless ``memory_hosts`` overrides the placement);
+    * every monitored host runs one sensor, configured with the list of
+      cliques it belongs to.
+    """
+    configs: Dict[str, HostConfig] = {}
+
+    def config_of(host: str) -> HostConfig:
+        cfg = configs.get(host)
+        if cfg is None:
+            cfg = HostConfig(host=host)
+            configs[host] = cfg
+        return cfg
+
+    nameserver = plan.nameserver_host or (plan.hosts[0] if plan.hosts else None)
+    if nameserver is None:
+        return configs
+    ns_cfg = config_of(nameserver)
+    ns_cfg.processes.append(ProcessSpec(kind="nameserver", options={}))
+    ns_cfg.processes.append(ProcessSpec(kind="forecaster",
+                                        options={"nameserver": nameserver}))
+
+    memory_cycle = list(memory_hosts) if memory_hosts else []
+    for idx, clique in enumerate(plan.cliques):
+        if memory_cycle:
+            memory_host = memory_cycle[idx % len(memory_cycle)]
+        else:
+            memory_host = clique.hosts[0]
+        config_of(memory_host).processes.append(ProcessSpec(
+            kind="memory",
+            options={"nameserver": nameserver, "clique": clique.name},
+        ))
+
+    for host in sorted(plan.monitored_hosts()):
+        cliques = plan.cliques_of(host)
+        config_of(host).processes.append(ProcessSpec(
+            kind="sensor",
+            options={
+                "nameserver": nameserver,
+                "cliques": ",".join(sorted(c.name for c in cliques)),
+            },
+        ))
+    return configs
+
+
+def render_config(plan: DeploymentPlan) -> str:
+    """Render the shared configuration file applied by the manager (§5.2)."""
+    lines: List[str] = ["# NWS deployment configuration (generated)", ""]
+    lines.append(f"nameserver {plan.nameserver_host}")
+    lines.append("")
+    for clique in plan.cliques:
+        lines.append(f"clique {clique.name} kind={clique.kind} "
+                     f"period={clique.period_s:g} network={clique.network_label}")
+        lines.append("  hosts " + " ".join(clique.hosts))
+    if plan.representatives:
+        lines.append("")
+        for pair, rep in sorted(plan.representatives.items(),
+                                key=lambda item: sorted(item[0])):
+            a, b = sorted(pair)
+            ra, rb = sorted(rep)
+            lines.append(f"represent {a} {b} by {ra} {rb}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_config(text: str) -> DeploymentPlan:
+    """Parse a configuration file back into a :class:`DeploymentPlan`."""
+    nameserver: Optional[str] = None
+    cliques: List[Clique] = []
+    representatives = {}
+    hosts: set = set()
+    pending: Optional[Dict[str, object]] = None
+
+    def flush() -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        clique_hosts = tuple(pending["hosts"])  # type: ignore[arg-type]
+        cliques.append(Clique(name=str(pending["name"]), hosts=clique_hosts,
+                              network_label=str(pending["network"]),
+                              kind=str(pending["kind"]),
+                              period_s=float(pending["period"])))
+        hosts.update(clique_hosts)
+        pending = None
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "nameserver":
+            nameserver = parts[1]
+        elif parts[0] == "clique":
+            flush()
+            options = dict(item.split("=", 1) for item in parts[2:])
+            pending = {"name": parts[1], "kind": options.get("kind", "switched"),
+                       "period": options.get("period", "60"),
+                       "network": options.get("network", ""), "hosts": []}
+        elif parts[0] == "hosts" and pending is not None:
+            pending["hosts"] = parts[1:]
+        elif parts[0] == "represent":
+            a, b, _by, ra, rb = parts[1:6]
+            representatives[frozenset((a, b))] = frozenset((ra, rb))
+            hosts.update((a, b, ra, rb))
+    flush()
+    plan = DeploymentPlan(hosts=sorted(hosts), cliques=cliques,
+                          representatives=representatives,
+                          nameserver_host=nameserver)
+    plan.notes["planner"] = "parsed"
+    return plan

@@ -1,0 +1,163 @@
+"""Deployment plan data model.
+
+A NWS deployment plan is a set of measurement *cliques* (paper §2.3): groups
+of hosts whose pairwise network experiments are serialised by a token-ring
+protocol so that they never collide.  The plan also records which measured
+pair *represents* which unmeasured pair (shared networks are measured by a
+single representative pair) so that clients can still obtain estimates for
+every end-to-end connection (the completeness constraint).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Clique", "DeploymentPlan", "host_pair"]
+
+
+def host_pair(a: str, b: str) -> FrozenSet[str]:
+    """Canonical unordered representation of a host pair."""
+    if a == b:
+        raise ValueError("a host pair needs two distinct hosts")
+    return frozenset((a, b))
+
+
+@dataclass(frozen=True)
+class Clique:
+    """One NWS measurement clique.
+
+    Attributes
+    ----------
+    name:
+        Unique clique identifier (used in NWS configuration files).
+    hosts:
+        The member hosts; measurements run between members only, one at a
+        time (token ring).
+    network_label:
+        The ENV network (or tree level) this clique monitors.
+    kind:
+        ``"shared"`` / ``"switched"`` for leaf cliques, ``"inter"`` for
+        cliques connecting sibling subtrees, ``"global"`` / ``"adhoc"`` for
+        baseline planners.
+    period_s:
+        Target delay between two activations of the same host pair.
+    """
+
+    name: str
+    hosts: Tuple[str, ...]
+    network_label: str = ""
+    kind: str = "switched"
+    period_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if len(self.hosts) < 2:
+            raise ValueError(f"clique {self.name!r} needs at least two hosts")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise ValueError(f"clique {self.name!r} has duplicate hosts")
+
+    @property
+    def size(self) -> int:
+        return len(self.hosts)
+
+    def unordered_pairs(self) -> List[FrozenSet[str]]:
+        """All unordered host pairs measured inside this clique."""
+        return [host_pair(a, b) for a, b in itertools.combinations(self.hosts, 2)]
+
+    def ordered_pairs(self) -> List[Tuple[str, str]]:
+        """All ordered host pairs (NWS measures both directions, §2.2)."""
+        return [(a, b) for a in self.hosts for b in self.hosts if a != b]
+
+    def __contains__(self, host: str) -> bool:
+        return host in self.hosts
+
+
+@dataclass
+class DeploymentPlan:
+    """A complete NWS deployment plan."""
+
+    hosts: List[str]
+    cliques: List[Clique] = field(default_factory=list)
+    #: Unmeasured pair → measured pair that represents it (shared networks).
+    representatives: Dict[FrozenSet[str], FrozenSet[str]] = field(default_factory=dict)
+    #: Host designated to run the name server / forecaster (usually the master).
+    nameserver_host: Optional[str] = None
+    #: Free-form provenance notes (planner name, ENV master, ...).
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    # -- queries -----------------------------------------------------------------
+    def clique(self, name: str) -> Clique:
+        for clique in self.cliques:
+            if clique.name == name:
+                return clique
+        raise KeyError(name)
+
+    def cliques_of(self, host: str) -> List[Clique]:
+        """All cliques the host participates in."""
+        return [c for c in self.cliques if host in c]
+
+    def measured_pairs(self) -> Set[FrozenSet[str]]:
+        """All unordered host pairs measured directly by some clique."""
+        pairs: Set[FrozenSet[str]] = set()
+        for clique in self.cliques:
+            pairs.update(clique.unordered_pairs())
+        return pairs
+
+    def monitored_hosts(self) -> Set[str]:
+        """Hosts that belong to at least one clique."""
+        covered: Set[str] = set()
+        for clique in self.cliques:
+            covered.update(clique.hosts)
+        return covered
+
+    def pair_source(self, a: str, b: str) -> Optional[FrozenSet[str]]:
+        """The measured pair whose data answers a query about (a, b).
+
+        Returns the pair itself when measured directly, its representative
+        when the pair lives on a shared network measured by proxy, and
+        ``None`` when only multi-hop aggregation can answer.
+        """
+        pair = host_pair(a, b)
+        if pair in self.measured_pairs():
+            return pair
+        return self.representatives.get(pair)
+
+    def total_clique_size(self) -> int:
+        return sum(c.size for c in self.cliques)
+
+    def largest_clique_size(self) -> int:
+        return max((c.size for c in self.cliques), default=0)
+
+    def describe(self) -> str:
+        """A human-readable multi-line summary of the plan."""
+        lines = [f"Deployment plan over {len(self.hosts)} hosts "
+                 f"({len(self.cliques)} cliques)"]
+        for clique in self.cliques:
+            lines.append(f"  - {clique.name} [{clique.kind}] "
+                         f"({clique.size} hosts): {', '.join(clique.hosts)}")
+        if self.representatives:
+            lines.append(f"  representatives for {len(self.representatives)} "
+                         "unmeasured pairs")
+        if self.nameserver_host:
+            lines.append(f"  name server / forecaster on {self.nameserver_host}")
+        return "\n".join(lines)
+
+    def validate_structure(self) -> List[str]:
+        """Internal consistency checks (hosts exist, representatives resolve)."""
+        problems: List[str] = []
+        host_set = set(self.hosts)
+        for clique in self.cliques:
+            unknown = set(clique.hosts) - host_set
+            if unknown:
+                problems.append(f"clique {clique.name!r} references unknown hosts "
+                                f"{sorted(unknown)}")
+        measured = self.measured_pairs()
+        for pair, rep in self.representatives.items():
+            if rep not in measured:
+                problems.append(f"representative {sorted(rep)} for pair "
+                                f"{sorted(pair)} is not itself measured")
+        names = [c.name for c in self.cliques]
+        if len(names) != len(set(names)):
+            problems.append("duplicate clique names")
+        return problems

@@ -1,0 +1,167 @@
+"""NWS deployment planning from an Effective Network View (paper §5.1).
+
+The planning rules, as stated in the paper and refined here into a complete
+deterministic algorithm:
+
+* **Shared network** — all its hosts see the same medium, so one pair of
+  hosts is representative of every pair: deploy a two-host clique and record
+  the representative mapping for the remaining pairs.
+* **Switched network** — pairs are independent but a host must never take
+  part in two simultaneous experiments: deploy a clique containing *all*
+  hosts of the network (plus its gateway, which sits on the same switch).
+* **Inconclusive network** — treated conservatively like a switched network
+  (a full clique can never cause collisions), and flagged in the plan notes.
+* **Hierarchy** — for every tree node whose children are not already bridged
+  by a dual-homed gateway belonging to a sibling network, deploy an
+  inter-network clique containing one representative per child subtree (and
+  one of the node's own hosts when it has some).  Representatives prefer
+  hosts that are not gateways of any network, so that gateway machines are
+  not overloaded with monitoring duties; ties are broken alphabetically.
+  In ENS-Lyon this reproduces the paper's choice of *canaria* and *popc0*
+  for the inter-hub clique of Figure 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..env.envtree import ENVNetwork, ENVView, KIND_SHARED, KIND_STRUCTURAL, KIND_SWITCHED
+from .plan import Clique, DeploymentPlan, host_pair
+
+__all__ = ["EnvDeploymentPlanner", "plan_from_view"]
+
+
+class EnvDeploymentPlanner:
+    """Turns an :class:`ENVView` into a :class:`DeploymentPlan`."""
+
+    def __init__(self, view: ENVView, period_s: float = 60.0):
+        self.view = view
+        self.period_s = period_s
+        self._gateways: Set[str] = {
+            net.gateway for net in view.networks() if net.gateway is not None
+        }
+        self._label_counts: Dict[str, int] = {}
+
+    # -- public API -----------------------------------------------------------
+    def plan(self) -> DeploymentPlan:
+        """Compute the deployment plan."""
+        hosts = sorted(self.view.machines.keys()) or sorted(
+            set(self.view.root.all_hosts()))
+        plan = DeploymentPlan(hosts=hosts, nameserver_host=self.view.master)
+        plan.notes["planner"] = "env"
+        plan.notes["master"] = self.view.master
+        unknown_networks: List[str] = []
+
+        for net in self.view.classified_networks():
+            clique = self._leaf_clique(net, plan)
+            if clique is not None:
+                plan.cliques.append(clique)
+            if net.kind not in (KIND_SHARED, KIND_SWITCHED):
+                unknown_networks.append(net.label)
+
+        self._add_hierarchy_cliques(self.view.root, plan)
+
+        if unknown_networks:
+            plan.notes["inconclusive_networks"] = unknown_networks
+        problems = plan.validate_structure()
+        if problems:
+            raise AssertionError("planner produced an inconsistent plan: "
+                                 + "; ".join(problems))
+        return plan
+
+    # -- leaf cliques ----------------------------------------------------------
+    def _unique_name(self, prefix: str, label: str) -> str:
+        base = f"{prefix}-{label}" if label else prefix
+        count = self._label_counts.get(base, 0)
+        self._label_counts[base] = count + 1
+        return base if count == 0 else f"{base}-{count + 1}"
+
+    def _preferred_hosts(self, hosts: Sequence[str]) -> List[str]:
+        """Hosts ordered by preference: non-gateways first, then alphabetical."""
+        return sorted(hosts, key=lambda h: (h in self._gateways, h))
+
+    def _leaf_clique(self, net: ENVNetwork, plan: DeploymentPlan) -> Optional[Clique]:
+        members = sorted(set(net.hosts))
+        if net.kind == KIND_SHARED:
+            if len(members) < 2:
+                return None
+            chosen = tuple(self._preferred_hosts(members)[:2])
+            clique = Clique(name=self._unique_name("clique", net.label),
+                            hosts=chosen, network_label=net.label,
+                            kind=KIND_SHARED, period_s=self.period_s)
+            # Every pair on the shared medium is represented by the chosen pair.
+            equivalence = set(members)
+            if net.gateway is not None:
+                equivalence.add(net.gateway)
+            rep = host_pair(*chosen)
+            for a, b in itertools.combinations(sorted(equivalence), 2):
+                pair = host_pair(a, b)
+                if pair != rep:
+                    plan.representatives[pair] = rep
+            return clique
+        # Switched or inconclusive: a clique of every host (plus the gateway,
+        # which shares the same switch) guarantees collision freedom.
+        if net.gateway is not None and net.gateway not in members:
+            members = sorted(members + [net.gateway])
+        if len(members) < 2:
+            return None
+        kind = KIND_SWITCHED if net.kind == KIND_SWITCHED else "unknown"
+        return Clique(name=self._unique_name("clique", net.label),
+                      hosts=tuple(members), network_label=net.label,
+                      kind=kind, period_s=self.period_s)
+
+    # -- hierarchy cliques --------------------------------------------------------
+    def _subtree_hosts(self, net: ENVNetwork) -> List[str]:
+        return sorted(set(net.all_hosts()))
+
+    def _subtree_representative(self, net: ENVNetwork) -> Optional[str]:
+        """The host that represents a subtree in inter-network cliques."""
+        if net.kind != KIND_STRUCTURAL and net.hosts:
+            return self._preferred_hosts(sorted(set(net.hosts)))[0]
+        best: Optional[str] = None
+        best_size = -1
+        for child in net.children:
+            rep = self._subtree_representative(child)
+            size = len(self._subtree_hosts(child))
+            if rep is not None and size > best_size:
+                best, best_size = rep, size
+        return best
+
+    def _is_covered(self, child: ENVNetwork, parent: ENVNetwork) -> bool:
+        """Whether the child's up-link is already observed through its gateway."""
+        if child.gateway is None:
+            return False
+        if child.gateway in parent.hosts:
+            return True
+        for sibling in parent.children:
+            if sibling is child:
+                continue
+            if child.gateway in sibling.all_hosts():
+                return True
+        return False
+
+    def _add_hierarchy_cliques(self, net: ENVNetwork, plan: DeploymentPlan) -> None:
+        uncovered: List[ENVNetwork] = [child for child in net.children
+                                       if not self._is_covered(child, net)]
+        representatives: List[str] = []
+        if net.kind != KIND_STRUCTURAL and net.hosts and uncovered:
+            own = self._preferred_hosts(sorted(set(net.hosts)))[0]
+            representatives.append(own)
+        for child in uncovered:
+            rep = self._subtree_representative(child)
+            if rep is not None and rep not in representatives:
+                representatives.append(rep)
+        if len(representatives) >= 2:
+            plan.cliques.append(Clique(
+                name=self._unique_name("inter", net.label),
+                hosts=tuple(sorted(representatives)),
+                network_label=net.label, kind="inter", period_s=self.period_s,
+            ))
+        for child in net.children:
+            self._add_hierarchy_cliques(child, plan)
+
+
+def plan_from_view(view: ENVView, period_s: float = 60.0) -> DeploymentPlan:
+    """Convenience wrapper: plan the NWS deployment for an effective view."""
+    return EnvDeploymentPlanner(view, period_s=period_s).plan()

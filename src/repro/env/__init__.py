@@ -1,0 +1,38 @@
+"""Effective Network View (ENV): application-level network mapping."""
+
+from .bandwidth_tests import ClusterRefiner, RefinedCluster
+from .classify import classify_from_ratios, classify_ratio
+from .envtree import (
+    ENVNetwork,
+    ENVView,
+    KIND_SHARED,
+    KIND_STRUCTURAL,
+    KIND_SWITCHED,
+    KIND_UNKNOWN,
+    MachineInfo,
+    merge_views,
+)
+from .lookup import lookup_machines, site_domain_of
+from .mapper import ENVMapper, make_driver, map_and_merge, map_ens_lyon, map_platform
+from .probes import (
+    AnalyticProbeDriver,
+    ProbeDriver,
+    ProbeStats,
+    SECONDS_PER_MEASUREMENT,
+    SimulatedProbeDriver,
+)
+from .structural import StructuralNode, build_structural_tree, structural_to_envtree
+from .thresholds import DEFAULT_THRESHOLDS, ENVThresholds
+
+__all__ = [
+    "ENVThresholds", "DEFAULT_THRESHOLDS",
+    "ProbeDriver", "AnalyticProbeDriver", "SimulatedProbeDriver", "ProbeStats",
+    "SECONDS_PER_MEASUREMENT",
+    "MachineInfo", "ENVNetwork", "ENVView", "merge_views",
+    "KIND_STRUCTURAL", "KIND_SHARED", "KIND_SWITCHED", "KIND_UNKNOWN",
+    "lookup_machines", "site_domain_of",
+    "StructuralNode", "build_structural_tree", "structural_to_envtree",
+    "ClusterRefiner", "RefinedCluster",
+    "classify_ratio", "classify_from_ratios",
+    "ENVMapper", "map_platform", "map_and_merge", "map_ens_lyon", "make_driver",
+]

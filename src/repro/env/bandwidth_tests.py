@@ -1,0 +1,222 @@
+"""ENV master-dependent bandwidth experiments (paper §4.2.2).
+
+Starting from the clusters discovered by the structural phase, four
+experiments successively refine and characterise each cluster from the
+chosen master's point of view:
+
+1. **Host-to-host bandwidth** — master → each host separately; hosts whose
+   bandwidth differs by more than the split ratio (3) are put in separate
+   clusters.
+2. **Pairwise host bandwidth** — master → A and master → B concurrently; if
+   the unpaired/paired ratio stays below 1.25, A and B are *independent*
+   (they do not share the path from the master) and are split apart.
+3. **Internal host bandwidth** — bandwidth between cluster members, giving
+   the ``ENV_base_local_BW`` figure (popc is on a local 100 Mbit/s hub even
+   though it is reached through a 10 Mbit/s bottleneck).
+4. **Jammed bandwidth** — master → one host while two *other* hosts of the
+   cluster exchange data; repeated 5 times; the average jammed/base ratio
+   classifies the cluster as shared (< 0.7), switched (> 0.9) or unknown.
+
+Implementation notes (documented deviations):
+
+* For two-host clusters, the canonical jam experiment is impossible (it needs
+  a target plus two jammers).  When the cluster hangs below a *gateway host*
+  (e.g. the myri1/myri2 cluster behind myri0), the gateway is used as the
+  second jammer.  Otherwise the jam transfer is directed at the master
+  itself (B → M while M → A is measured): on a shared segment both cross the
+  same medium, on a switched full-duplex segment they use different
+  directions of the master port and do not interfere.
+* Single-host clusters cannot be classified and are reported as unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .classify import classify_from_ratios
+from .envtree import ENVNetwork, KIND_UNKNOWN
+from .probes import ProbeDriver
+from .thresholds import ENVThresholds
+
+__all__ = ["RefinedCluster", "ClusterRefiner"]
+
+
+@dataclass
+class RefinedCluster:
+    """A cluster after the bandwidth experiments."""
+
+    hosts: List[str]
+    kind: str = KIND_UNKNOWN
+    base_bandwidths: Dict[str, float] = field(default_factory=dict)
+    local_bandwidth_mbps: Optional[float] = None
+    jam_ratios: List[float] = field(default_factory=list)
+    gateway: Optional[str] = None
+
+    @property
+    def base_bandwidth_mbps(self) -> Optional[float]:
+        """Representative master→cluster bandwidth (mean over members)."""
+        if not self.base_bandwidths:
+            return None
+        return fmean(self.base_bandwidths.values())
+
+    @property
+    def jam_ratio(self) -> Optional[float]:
+        if not self.jam_ratios:
+            return None
+        return fmean(self.jam_ratios)
+
+    def to_network(self, label: str) -> ENVNetwork:
+        """Convert to an :class:`ENVNetwork` leaf."""
+        return ENVNetwork(
+            label=label,
+            kind=self.kind,
+            hosts=sorted(self.hosts),
+            gateway=self.gateway,
+            base_bandwidth_mbps=self.base_bandwidth_mbps,
+            local_bandwidth_mbps=self.local_bandwidth_mbps,
+            jam_ratio=self.jam_ratio,
+        )
+
+
+class ClusterRefiner:
+    """Runs the §4.2.2 experiment battery on structural clusters."""
+
+    def __init__(self, driver: ProbeDriver, master: str,
+                 thresholds: ENVThresholds):
+        self.driver = driver
+        self.master = master
+        self.thresholds = thresholds
+
+    # -- experiment 1: host to host bandwidth -----------------------------------
+    def measure_base_bandwidths(self, hosts: Sequence[str]) -> Dict[str, float]:
+        """Bandwidth master → host for every host, measured separately."""
+        size = self.thresholds.probe_size_bytes
+        return {host: self.driver.bandwidth(self.master, host, size)
+                for host in hosts}
+
+    def split_by_bandwidth(self, hosts: Sequence[str],
+                           base: Dict[str, float]) -> List[List[str]]:
+        """Split hosts whose master-bandwidth ratio exceeds the split ratio."""
+        if len(hosts) <= 1:
+            return [list(hosts)]
+        ordered = sorted(hosts, key=lambda h: base[h], reverse=True)
+        groups: List[List[str]] = [[ordered[0]]]
+        for host in ordered[1:]:
+            anchor = groups[-1][0]
+            if base[anchor] / max(base[host], 1e-12) > self.thresholds.split_ratio:
+                groups.append([host])
+            else:
+                groups[-1].append(host)
+        return groups
+
+    # -- experiment 2: pairwise host bandwidth --------------------------------------
+    def split_by_pairwise(self, hosts: Sequence[str],
+                          base: Dict[str, float]) -> List[List[str]]:
+        """Split hosts that are pairwise independent w.r.t. the master path."""
+        hosts = list(hosts)
+        if len(hosts) <= 1:
+            return [hosts]
+        size = self.thresholds.probe_size_bytes
+        # adjacency of "dependence": hosts that share bandwidth with each other
+        dependent: Dict[str, set] = {h: set() for h in hosts}
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1:]:
+                paired = self.driver.concurrent_bandwidths(
+                    [(self.master, a), (self.master, b)], size)
+                ratio_a = base[a] / max(paired[0], 1e-12)
+                ratio_b = base[b] / max(paired[1], 1e-12)
+                # Both ends must look unaffected for the pair to be independent.
+                independent = (ratio_a < self.thresholds.pairwise_independence_ratio
+                               and ratio_b < self.thresholds.pairwise_independence_ratio)
+                if not independent:
+                    dependent[a].add(b)
+                    dependent[b].add(a)
+        # Connected components of the dependence graph become the new clusters.
+        groups: List[List[str]] = []
+        unvisited = set(hosts)
+        while unvisited:
+            seed = min(unvisited)
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop()
+                for neighbour in dependent[current]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            unvisited -= component
+            groups.append(sorted(component))
+        return groups
+
+    # -- experiment 3: internal host bandwidth ---------------------------------------
+    def measure_internal_bandwidth(self, hosts: Sequence[str]) -> Optional[float]:
+        """Mean bandwidth between cluster members (``ENV_base_local_BW``)."""
+        hosts = list(hosts)
+        if len(hosts) < 2:
+            return None
+        size = self.thresholds.probe_size_bytes
+        values: List[float] = []
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1:]:
+                values.append(self.driver.bandwidth(a, b, size))
+        return fmean(values) if values else None
+
+    # -- experiment 4: jammed bandwidth ------------------------------------------------
+    def measure_jam_ratios(self, hosts: Sequence[str],
+                           base: Dict[str, float],
+                           gateway: Optional[str]) -> List[float]:
+        """Jammed/base ratios over the configured number of repetitions."""
+        hosts = sorted(hosts)
+        if len(hosts) < 2:
+            return []
+        size = self.thresholds.probe_size_bytes
+        ratios: List[float] = []
+        for rep in range(self.thresholds.jam_repetitions):
+            if len(hosts) >= 3:
+                target = hosts[rep % len(hosts)]
+                others = [h for h in hosts if h != target]
+                jam_a = others[rep % len(others)]
+                jam_b = others[(rep + 1) % len(others)]
+            else:
+                # Two-host cluster: see the module docstring.
+                target = hosts[rep % 2]
+                other = hosts[1 - (rep % 2)]
+                if gateway is not None and gateway not in (target, other):
+                    jam_a, jam_b = other, gateway
+                else:
+                    jam_a, jam_b = other, self.master
+            measured = self.driver.concurrent_bandwidths(
+                [(self.master, target), (jam_a, jam_b)], size)
+            jammed = measured[0]
+            reference = base.get(target)
+            if reference is None or reference <= 0:
+                continue
+            ratios.append(jammed / reference)
+        return ratios
+
+    # -- full battery --------------------------------------------------------------------
+    def refine(self, hosts: Sequence[str],
+               gateway: Optional[str] = None) -> List[RefinedCluster]:
+        """Run all four experiments on one structural cluster.
+
+        The master is never probed as a target; callers must pass the cluster
+        membership without it.  Returns one or more refined clusters (the
+        first two experiments may split the group).
+        """
+        hosts = [h for h in hosts if h != self.master]
+        if not hosts:
+            return []
+        base = self.measure_base_bandwidths(hosts)
+        refined: List[RefinedCluster] = []
+        for group_bw in self.split_by_bandwidth(hosts, base):
+            for group in self.split_by_pairwise(group_bw, base):
+                cluster = RefinedCluster(hosts=list(group), gateway=gateway)
+                cluster.base_bandwidths = {h: base[h] for h in group}
+                cluster.local_bandwidth_mbps = self.measure_internal_bandwidth(group)
+                cluster.jam_ratios = self.measure_jam_ratios(group, base, gateway)
+                cluster.kind = classify_from_ratios(cluster.jam_ratios,
+                                                    self.thresholds)
+                refined.append(cluster)
+        return refined

@@ -1,0 +1,36 @@
+"""Shared / switched classification from the jammed-bandwidth ratios.
+
+Paper §4.2.2.4: the jam experiment is repeated five times and the average of
+the jammed/base bandwidth ratio decides the nature of the cluster's segment:
+below 0.7 the hosts sit on a *shared* medium (hub/bus — concurrent transfers
+steal bandwidth from each other), above 0.9 the segment is *switched*
+(dedicated ports — no interference), and in between ENV stops investigating
+because the measurements are not significant enough.
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+from typing import Sequence
+
+from .envtree import KIND_SHARED, KIND_SWITCHED, KIND_UNKNOWN
+from .thresholds import ENVThresholds
+
+__all__ = ["classify_from_ratios", "classify_ratio"]
+
+
+def classify_ratio(avg_ratio: float, thresholds: ENVThresholds) -> str:
+    """Classification of a cluster from its average jammed/base ratio."""
+    if avg_ratio < thresholds.shared_threshold:
+        return KIND_SHARED
+    if avg_ratio > thresholds.switched_threshold:
+        return KIND_SWITCHED
+    return KIND_UNKNOWN
+
+
+def classify_from_ratios(ratios: Sequence[float], thresholds: ENVThresholds) -> str:
+    """Classification from the individual repetition ratios (empty ⇒ unknown)."""
+    cleaned = [r for r in ratios if r == r]  # drop NaNs defensively
+    if not cleaned:
+        return KIND_UNKNOWN
+    return classify_ratio(fmean(cleaned), thresholds)

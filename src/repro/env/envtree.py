@@ -1,0 +1,278 @@
+"""The Effective Network View data model.
+
+The result of an ENV run is a *tree* of networks as seen from the chosen
+master (paper §4): structural networks discovered by the traceroute phase,
+refined into *ENV networks* classified as shared or switched by the
+bandwidth experiments.  :class:`ENVView` holds that tree together with the
+machine inventory and the probing statistics, and can serialise itself to
+GridML.
+
+:func:`merge_views` implements the firewall workflow of §4.3: two views
+mapped on each side of a firewall are merged using the gateway alias table,
+the private-side subtree being grafted where the public side only saw the
+gateway machines.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..gridml import GridDocument, MachineEntry, NetworkEntry, SiteEntry
+from .probes import ProbeStats
+
+__all__ = ["MachineInfo", "ENVNetwork", "ENVView", "merge_views"]
+
+#: kind values of an :class:`ENVNetwork`.
+KIND_STRUCTURAL = "structural"
+KIND_SHARED = "shared"
+KIND_SWITCHED = "switched"
+KIND_UNKNOWN = "unknown"
+
+
+@dataclass
+class MachineInfo:
+    """What ENV knows about one mapped machine."""
+
+    name: str
+    ip: Optional[str] = None
+    domain: str = ""
+    aliases: List[str] = field(default_factory=list)
+    properties: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ENVNetwork:
+    """One node of the effective-view tree.
+
+    ``kind`` is ``structural`` for router-level nodes produced by the
+    traceroute phase, and ``shared`` / ``switched`` / ``unknown`` for leaf
+    clusters classified by the bandwidth experiments.
+    """
+
+    label: str
+    kind: str = KIND_STRUCTURAL
+    hosts: List[str] = field(default_factory=list)
+    children: List["ENVNetwork"] = field(default_factory=list)
+    #: Mapped host bridging this network to its parent (dual-homed gateway).
+    gateway: Optional[str] = None
+    #: Bandwidth master → cluster (Mbit/s), the ``ENV_base_BW`` property.
+    base_bandwidth_mbps: Optional[float] = None
+    #: Bandwidth inside the cluster (Mbit/s), the ``ENV_base_local_BW`` property.
+    local_bandwidth_mbps: Optional[float] = None
+    #: Average jammed/base ratio measured by the jam experiment.
+    jam_ratio: Optional[float] = None
+
+    # -- traversal -------------------------------------------------------------
+    def walk(self) -> Iterable["ENVNetwork"]:
+        """This network then all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> List["ENVNetwork"]:
+        """All classified (non-structural) networks in this subtree."""
+        return [net for net in self.walk() if net.kind != KIND_STRUCTURAL]
+
+    def all_hosts(self) -> List[str]:
+        """Hosts of this network and of every descendant network."""
+        hosts: List[str] = []
+        for net in self.walk():
+            hosts.extend(net.hosts)
+        return hosts
+
+    def find_host(self, host: str) -> Optional["ENVNetwork"]:
+        """The deepest network whose direct host list contains ``host``."""
+        for net in self.walk():
+            if host in net.hosts:
+                return net
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ENVNetwork {self.label!r} kind={self.kind} "
+                f"hosts={self.hosts} children={len(self.children)}>")
+
+
+@dataclass
+class ENVView:
+    """A complete effective network view from one master (or merged)."""
+
+    master: str
+    root: ENVNetwork
+    machines: Dict[str, MachineInfo] = field(default_factory=dict)
+    site_domain: str = ""
+    stats: ProbeStats = field(default_factory=ProbeStats)
+
+    # -- queries -------------------------------------------------------------
+    def networks(self) -> List[ENVNetwork]:
+        """All networks in the view, pre-order."""
+        return list(self.root.walk())
+
+    def classified_networks(self) -> List[ENVNetwork]:
+        """All shared/switched/unknown networks."""
+        return self.root.leaves()
+
+    def network_of(self, host: str) -> Optional[ENVNetwork]:
+        return self.root.find_host(host)
+
+    def hosts(self) -> List[str]:
+        return sorted(self.machines.keys())
+
+    def classification_of(self, host: str) -> str:
+        net = self.network_of(host)
+        return net.kind if net is not None else KIND_UNKNOWN
+
+    def grouping(self) -> Dict[str, Dict[str, object]]:
+        """Summary mapping network label → {hosts, kind} for scoring."""
+        out: Dict[str, Dict[str, object]] = {}
+        for net in self.classified_networks():
+            out[net.label] = {"hosts": set(net.hosts), "kind": net.kind}
+        return out
+
+    # -- GridML export ------------------------------------------------------------
+    def to_gridml(self) -> GridDocument:
+        """Serialise the view to a GridML document (paper §4 listings)."""
+        doc = GridDocument(label=f"ENV view from {self.master}")
+        sites: Dict[str, SiteEntry] = {}
+        for info in self.machines.values():
+            domain = info.domain or self.site_domain or "unknown"
+            site = sites.get(domain)
+            if site is None:
+                site = SiteEntry(domain=domain,
+                                 label=domain.upper().replace(".", "-"))
+                sites[domain] = site
+                doc.sites.append(site)
+            entry = MachineEntry(name=info.name, ip=info.ip,
+                                 aliases=list(info.aliases))
+            for key, value in sorted(info.properties.items()):
+                entry.add_property(key, value)
+            site.machines.append(entry)
+        doc.networks.append(self._network_to_gridml(self.root))
+        return doc
+
+    def _network_to_gridml(self, net: ENVNetwork) -> NetworkEntry:
+        type_map = {
+            KIND_STRUCTURAL: "Structural",
+            KIND_SHARED: "ENV_Shared",
+            KIND_SWITCHED: "ENV_Switched",
+            KIND_UNKNOWN: "ENV_Unknown",
+        }
+        entry = NetworkEntry(label=net.label,
+                             network_type=type_map.get(net.kind, "Structural"))
+        if net.base_bandwidth_mbps is not None:
+            entry.add_property("ENV_base_BW", f"{net.base_bandwidth_mbps:.2f}",
+                               units="Mbps")
+        if net.local_bandwidth_mbps is not None:
+            entry.add_property("ENV_base_local_BW",
+                               f"{net.local_bandwidth_mbps:.2f}", units="Mbps")
+        if net.jam_ratio is not None:
+            entry.add_property("ENV_jam_ratio", f"{net.jam_ratio:.3f}")
+        entry.machines = sorted(net.hosts)
+        entry.subnetworks = [self._network_to_gridml(child) for child in net.children]
+        return entry
+
+
+def _canonicalise(view: ENVView, alias_map: Mapping[str, str]) -> ENVView:
+    """Return a deep copy of ``view`` with host names rewritten via ``alias_map``."""
+    clone = copy.deepcopy(view)
+
+    def canon(name: str) -> str:
+        return alias_map.get(name, name)
+
+    for net in clone.root.walk():
+        net.hosts = [canon(h) for h in net.hosts]
+        if net.gateway is not None:
+            net.gateway = canon(net.gateway)
+    clone.master = canon(clone.master)
+    new_machines: Dict[str, MachineInfo] = {}
+    for name, info in clone.machines.items():
+        cname = canon(name)
+        info.name = cname
+        if name != cname and name not in info.aliases:
+            info.aliases.append(name)
+        new_machines[cname] = info
+    clone.machines = new_machines
+    return clone
+
+
+def merge_views(public: ENVView, private: ENVView,
+                gateway_aliases: Mapping[str, str]) -> ENVView:
+    """Merge the views mapped on each side of a firewall (paper §4.3).
+
+    ``gateway_aliases`` maps names used in either view to the canonical name
+    of the same physical machine (the dual-homed gateways).  The merge:
+
+    1. rewrites both views to canonical host names;
+    2. finds the public-side leaf whose host set matches the private master's
+       home network (the gateways) and replaces it by the private view's
+       subtree, so clusters hidden behind the firewall appear at the right
+       place in the tree;
+    3. when both sides classified the *same* host group differently, the
+       classification measured from the master with the **higher base
+       bandwidth** wins — that master's path to the group does not cross an
+       upstream bottleneck that would mask local contention.
+    """
+    pub = _canonicalise(public, gateway_aliases)
+    prv = _canonicalise(private, gateway_aliases)
+
+    prv_leaves = prv.root.leaves()
+    prv_hosts: Set[str] = set()
+    for leaf in prv_leaves:
+        prv_hosts.update(leaf.hosts)
+
+    merged_root = copy.deepcopy(pub.root)
+
+    def resolve_conflict(pub_net: ENVNetwork, prv_net: ENVNetwork) -> ENVNetwork:
+        pub_bw = pub_net.base_bandwidth_mbps or 0.0
+        prv_bw = prv_net.base_bandwidth_mbps or 0.0
+        winner = prv_net if prv_bw >= pub_bw else pub_net
+        merged = copy.deepcopy(winner)
+        merged.hosts = sorted(set(pub_net.hosts) | set(prv_net.hosts))
+        return merged
+
+    def graft(parent: Optional[ENVNetwork], net: ENVNetwork) -> ENVNetwork:
+        """Recursively rebuild the public tree, grafting the private subtree."""
+        overlap = set(net.hosts) & prv_hosts
+        if net.kind != KIND_STRUCTURAL and overlap:
+            # This public leaf describes (part of) the gateway group: find the
+            # matching private network and substitute the private subtree.
+            best = None
+            for leaf in prv_leaves:
+                if set(leaf.hosts) & set(net.hosts):
+                    best = leaf
+                    break
+            if best is not None:
+                merged_leaf = resolve_conflict(net, best)
+                # Attach the private networks that hang below the gateways.
+                merged_leaf.children = [copy.deepcopy(child)
+                                        for child in prv.root.children
+                                        if child is not best]
+                # Also graft any sibling private leaves not matched (rare).
+                return merged_leaf
+        rebuilt = copy.deepcopy(net)
+        rebuilt.children = [graft(net, child) for child in net.children]
+        return rebuilt
+
+    merged_root = graft(None, pub.root)
+
+    merged = ENVView(
+        master=pub.master,
+        root=merged_root,
+        machines={**prv.machines, **pub.machines},
+        site_domain=pub.site_domain,
+        stats=pub.stats.merge(prv.stats),
+    )
+    # Machines known only to the private side keep their info; aliases of the
+    # gateways are folded together.
+    for name, info in prv.machines.items():
+        if name in pub.machines:
+            target = merged.machines[name]
+            for alias in info.aliases:
+                if alias not in target.aliases:
+                    target.aliases.append(alias)
+            for key, value in info.properties.items():
+                target.properties.setdefault(key, value)
+        else:
+            merged.machines[name] = info
+    return merged

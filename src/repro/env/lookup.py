@@ -1,0 +1,62 @@
+"""ENV phase 1: lookup and extra information gathering (paper §4.2.1.1–2).
+
+The lookup phase records, for every host taking part in the mapping, its IP
+address, aliases, DNS domain and any host properties the deployment might
+care about (CPU model/clock, OS, kflops, ...).  When reverse resolution
+fails, the host is identified by its bare IP address and grouped by classful
+network (§4.3 "Machines without hostname"); non-routable (RFC 1918)
+addresses are kept since they are local by definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..netsim.address import IPv4Address
+from .envtree import MachineInfo
+from .probes import ProbeDriver
+
+__all__ = ["lookup_machines", "site_domain_of"]
+
+
+def lookup_machines(driver: ProbeDriver, hosts: Sequence[str]) -> Dict[str, MachineInfo]:
+    """Collect :class:`MachineInfo` for every host in ``hosts``.
+
+    Hosts whose address cannot be determined are skipped (they cannot be
+    probed anyway); unnamed hosts are kept under their IP-derived identity.
+    """
+    machines: Dict[str, MachineInfo] = {}
+    for host in hosts:
+        ip = driver.host_ip(host)
+        domain = driver.host_domain(host)
+        aliases: List[str] = []
+        if ip is not None:
+            resolved = driver.resolve_name(ip)
+            if resolved is not None and resolved != host:
+                aliases.append(resolved)
+            elif resolved is None:
+                # Reverse resolution failed: identify the machine by address,
+                # noting its classful network so the structural phase can still
+                # group it (paper §4.3).
+                addr = IPv4Address.parse(ip)
+                domain = domain or f"net-{addr.classful_network}"
+        info = MachineInfo(
+            name=host,
+            ip=ip,
+            domain=domain,
+            aliases=aliases,
+            properties=driver.host_properties(host),
+        )
+        machines[host] = info
+    return machines
+
+
+def site_domain_of(machines: Dict[str, MachineInfo]) -> str:
+    """The most common DNS domain among the mapped machines (the SITE domain)."""
+    counts: Dict[str, int] = {}
+    for info in machines.values():
+        if info.domain:
+            counts[info.domain] = counts.get(info.domain, 0) + 1
+    if not counts:
+        return ""
+    return max(sorted(counts), key=lambda d: counts[d])

@@ -1,0 +1,204 @@
+"""ENV mapper orchestration.
+
+:class:`ENVMapper` chains the phases of paper §4.2 — lookup, extra
+information gathering, structural topology, then the master-dependent
+bandwidth experiments — and produces an :class:`~repro.env.envtree.ENVView`.
+
+Firewalled platforms are handled as in §4.3: the mapper is run once on each
+side (each with its own master and host list), and :func:`map_and_merge`
+merges the per-side views with the gateway alias table.
+:func:`map_ens_lyon` wires this up for the paper's platform with master
+*the-doors* on the public side, reproducing Figure 1(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netsim.ens_lyon import PRIVATE_HOSTS, PUBLIC_HOSTS
+from ..netsim.topology import Platform
+from .bandwidth_tests import ClusterRefiner
+from .envtree import ENVNetwork, ENVView, KIND_STRUCTURAL, merge_views
+from .lookup import lookup_machines, site_domain_of
+from .probes import AnalyticProbeDriver, ProbeDriver, SimulatedProbeDriver
+from .structural import StructuralNode, build_structural_tree
+from .thresholds import DEFAULT_THRESHOLDS, ENVThresholds
+
+__all__ = ["ENVMapper", "map_platform", "map_and_merge", "map_ens_lyon",
+           "make_driver"]
+
+
+def make_driver(platform: Platform, mode: str = "analytic",
+                noise_sigma: float = 0.0,
+                rng: Optional[np.random.Generator] = None) -> ProbeDriver:
+    """Create a probe driver.
+
+    ``mode`` is ``"analytic"`` (steady-state oracle, fast) or ``"simulated"``
+    (probe transfers scheduled on a discrete-event engine).
+    """
+    if mode == "analytic":
+        return AnalyticProbeDriver(platform, noise_sigma=noise_sigma, rng=rng)
+    if mode == "simulated":
+        return SimulatedProbeDriver(platform)
+    raise ValueError(f"unknown probe driver mode {mode!r}")
+
+
+class ENVMapper:
+    """Maps a platform from one master's point of view."""
+
+    def __init__(self, driver: ProbeDriver, master: str,
+                 hosts: Optional[Sequence[str]] = None,
+                 thresholds: ENVThresholds = DEFAULT_THRESHOLDS):
+        self.driver = driver
+        self.platform = driver.platform
+        self.master = master
+        if hosts is None:
+            hosts = self.platform.host_names()
+        if master not in hosts:
+            hosts = list(hosts) + [master]
+        self.requested_hosts = sorted(set(hosts))
+        self.thresholds = thresholds
+        #: Hosts dropped because the master cannot exchange traffic with them.
+        self.unreachable: List[str] = []
+
+    # -- phases --------------------------------------------------------------
+    def reachable_hosts(self) -> List[str]:
+        """Hosts of the request the master can actually probe."""
+        reachable = []
+        self.unreachable = []
+        for host in self.requested_hosts:
+            if host == self.master or self.driver.can_communicate(self.master, host):
+                reachable.append(host)
+            else:
+                self.unreachable.append(host)
+        return reachable
+
+    def run(self) -> ENVView:
+        """Run the full mapping and return the effective view."""
+        hosts = self.reachable_hosts()
+        machines = lookup_machines(self.driver, hosts)
+        structural = build_structural_tree(self.driver, hosts, self.master)
+        root = self._refine_tree(structural)
+        view = ENVView(
+            master=self.master,
+            root=root,
+            machines=machines,
+            site_domain=site_domain_of(machines),
+            stats=self.driver.stats,
+        )
+        return view
+
+    # -- internals -------------------------------------------------------------
+    def _refine_tree(self, node: StructuralNode) -> ENVNetwork:
+        """Refine every structural machine group into classified networks."""
+        refiner = ClusterRefiner(self.driver, self.master, self.thresholds)
+        return self._refine_node(node, refiner, counter=[0])
+
+    def _refine_node(self, node: StructuralNode, refiner: ClusterRefiner,
+                     counter: List[int]) -> ENVNetwork:
+        children: List[ENVNetwork] = []
+        classified: List[ENVNetwork] = []
+        if node.machines:
+            clusters = refiner.refine(node.machines, gateway=node.gateway_host)
+            for cluster in clusters:
+                counter[0] += 1
+                label = self._cluster_label(node, cluster.hosts, counter[0])
+                classified.append(cluster.to_network(label))
+            # The master belongs to the network of its own branch: attach it to
+            # the refined cluster with the highest base bandwidth (its most
+            # local peers), mirroring Figure 1(b) where the-doors sits on Hub 1.
+            if self.master in node.machines and classified:
+                home = max(classified,
+                           key=lambda net: net.base_bandwidth_mbps or 0.0)
+                if self.master not in home.hosts:
+                    home.hosts = sorted(home.hosts + [self.master])
+            elif self.master in node.machines and not classified:
+                counter[0] += 1
+                classified.append(ENVNetwork(label=f"net-{counter[0]}",
+                                             kind=KIND_STRUCTURAL,
+                                             hosts=[self.master]))
+        for child in node.children.values():
+            children.append(self._refine_node(child, refiner, counter))
+
+        if not node.children and len(classified) == 1 and not node.machines == []:
+            # A structural leaf fully described by one classified cluster:
+            # return the cluster directly (keeping the structural label as a
+            # fallback) instead of wrapping it in an empty structural node.
+            leaf = classified[0]
+            if leaf.gateway is None:
+                leaf.gateway = node.gateway_host
+            return leaf
+        wrapper = ENVNetwork(label=node.label, kind=KIND_STRUCTURAL,
+                             gateway=node.gateway_host)
+        wrapper.children = classified + children
+        return wrapper
+
+    def _cluster_label(self, node: StructuralNode, hosts: Sequence[str],
+                       index: int) -> str:
+        if node.gateway_host is not None:
+            return node.gateway_host
+        if hosts:
+            return sorted(hosts)[0]
+        return f"net-{index}"
+
+
+def map_platform(platform: Platform, master: str,
+                 hosts: Optional[Sequence[str]] = None,
+                 thresholds: ENVThresholds = DEFAULT_THRESHOLDS,
+                 mode: str = "analytic",
+                 noise_sigma: float = 0.0,
+                 rng: Optional[np.random.Generator] = None,
+                 driver: Optional[ProbeDriver] = None) -> ENVView:
+    """Map ``platform`` from ``master`` and return the effective view."""
+    if driver is None:
+        driver = make_driver(platform, mode=mode, noise_sigma=noise_sigma, rng=rng)
+    mapper = ENVMapper(driver, master, hosts=hosts, thresholds=thresholds)
+    return mapper.run()
+
+
+def map_and_merge(platform: Platform,
+                  sides: Sequence[Tuple[str, Sequence[str]]],
+                  gateway_aliases: Optional[Mapping[str, str]] = None,
+                  thresholds: ENVThresholds = DEFAULT_THRESHOLDS,
+                  mode: str = "analytic",
+                  noise_sigma: float = 0.0,
+                  rng: Optional[np.random.Generator] = None) -> ENVView:
+    """Map each firewall side separately and merge the views (paper §4.3).
+
+    ``sides`` is an ordered list of ``(master, hosts)`` pairs; the first one
+    is the "public" reference view into which the following ones are merged.
+    """
+    if not sides:
+        raise ValueError("at least one (master, hosts) side is required")
+    aliases = dict(gateway_aliases or {})
+    views = [map_platform(platform, master, hosts, thresholds=thresholds,
+                          mode=mode, noise_sigma=noise_sigma, rng=rng)
+             for master, hosts in sides]
+    merged = views[0]
+    for view in views[1:]:
+        merged = merge_views(merged, view, aliases)
+    return merged
+
+
+def map_ens_lyon(platform: Platform, master: str = "the-doors",
+                 private_master: str = "popc0",
+                 thresholds: ENVThresholds = DEFAULT_THRESHOLDS,
+                 mode: str = "analytic",
+                 noise_sigma: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> ENVView:
+    """Reproduce the paper's ENS-Lyon mapping (Figure 1(b)).
+
+    The public side is mapped from ``master`` (*the-doors* in the paper) over
+    the ens-lyon.fr hosts and gateways; the firewalled ``popc.private`` side
+    is mapped from ``private_master`` and merged in.
+    """
+    sides = [
+        (master, PUBLIC_HOSTS),
+        (private_master, PRIVATE_HOSTS),
+    ]
+    return map_and_merge(platform, sides, gateway_aliases={},
+                         thresholds=thresholds, mode=mode,
+                         noise_sigma=noise_sigma, rng=rng)

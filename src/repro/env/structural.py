@@ -1,0 +1,161 @@
+"""ENV phase 2: the structural topology (paper §4.2.1.3, Figure 2).
+
+Every mapped host runs a traceroute towards a well-known destination outside
+the network being mapped; the portion of each path *inside* the mapped
+network is used to build a tree whose internal nodes are the observed router
+hops and whose leaves are the hosts.  Hosts using the same route out of the
+network end up clustered on the same branch — these clusters are the input
+of the master-dependent bandwidth experiments.
+
+Practical details reproduced from §4.3:
+
+* anonymous hops (routers that drop traceroute probes) are kept as
+  placeholder nodes so that hosts behind them still cluster together;
+* hops whose address matches a mapped host (a dual-homed gateway machine)
+  mark that host as the *gateway* of the subtree below it;
+* when a host cannot reach the external destination at all (firewall), the
+  mapping falls back to tracerouting towards the master, which yields a
+  consistent master-centric structural view of the reachable side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.traceroute import ANONYMOUS_HOP
+from .envtree import ENVNetwork, KIND_STRUCTURAL
+from .probes import ProbeDriver
+
+__all__ = ["StructuralNode", "build_structural_tree", "structural_to_envtree"]
+
+
+@dataclass
+class StructuralNode:
+    """One node of the structural tree (a router hop, or the root)."""
+
+    label: str
+    machines: List[str] = field(default_factory=list)
+    children: Dict[str, "StructuralNode"] = field(default_factory=dict)
+    #: Name of the mapped host this hop corresponds to, when it is one
+    #: (a dual-homed gateway machine), else ``None``.
+    gateway_host: Optional[str] = None
+
+    def child(self, label: str) -> "StructuralNode":
+        node = self.children.get(label)
+        if node is None:
+            node = StructuralNode(label=label)
+            self.children[label] = node
+        return node
+
+    def walk(self):
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def leaf_groups(self) -> List[Tuple["StructuralNode", List[str]]]:
+        """All (node, direct machine list) pairs with at least one machine."""
+        return [(node, list(node.machines)) for node in self.walk() if node.machines]
+
+    def all_machines(self) -> List[str]:
+        out: List[str] = []
+        for node in self.walk():
+            out.extend(node.machines)
+        return out
+
+
+def _path_inside_network(driver: ProbeDriver, host: str,
+                         destination: Optional[str],
+                         mapped_ips: Dict[str, str]) -> Optional[List[Tuple[str, Optional[str]]]]:
+    """The hop labels of ``host``'s way out, innermost hop last.
+
+    Returns ``None`` when the destination is unreachable.  Each element is a
+    ``(label, gateway_host)`` pair where ``gateway_host`` is set when the hop
+    address belongs to a mapped machine.
+    """
+    result = driver.run_traceroute(host, destination)
+    if not result.reached:
+        return None
+    hops: List[Tuple[str, Optional[str]]] = []
+    anon_counter = 0
+    for hop in result.hops:
+        label = hop.address
+        if label == ANONYMOUS_HOP:
+            # Keep anonymous hops distinguishable per position so different
+            # silent routers do not collapse into one.
+            anon_counter += 1
+            label = f"*{anon_counter}"
+        gateway = mapped_ips.get(hop.address)
+        # Skip the hop that is the destination host itself (when tracerouting
+        # towards the master): it is not part of this host's way out.
+        if destination is not None and gateway == destination:
+            continue
+        hops.append((label, gateway))
+    return hops
+
+
+def build_structural_tree(driver: ProbeDriver, hosts: Sequence[str], master: str,
+                          external_destination: Optional[str] = None
+                          ) -> StructuralNode:
+    """Build the structural tree for ``hosts`` as seen from ``master``.
+
+    ``external_destination`` defaults to the platform's external node; if any
+    host cannot reach it, the whole phase falls back to using the master as
+    the traceroute target so the view stays consistent.
+    """
+    mapped_ips: Dict[str, str] = {}
+    for host in hosts:
+        ip = driver.host_ip(host)
+        if ip is not None:
+            mapped_ips[ip] = host
+
+    destination = external_destination
+    paths: Dict[str, Optional[List[Tuple[str, Optional[str]]]]] = {}
+    for host in hosts:
+        paths[host] = _path_inside_network(driver, host, destination, mapped_ips)
+
+    if any(path is None for path in paths.values()):
+        # Firewalled hosts cannot see the outside world: fall back to a
+        # master-centric structural view (documented substitution, §4.3).
+        paths = {
+            host: _path_inside_network(driver, host, master, mapped_ips)
+            for host in hosts
+        }
+        # The master itself trivially reaches itself with an empty path.
+        paths[master] = []
+
+    root = StructuralNode(label="root")
+    for host in sorted(hosts):
+        path = paths.get(host)
+        if path is None:
+            # Still unreachable: keep the host attached to the root so it is
+            # not silently dropped from the mapping.
+            root.machines.append(host)
+            continue
+        # The path lists hops from the host outwards; the tree is built from
+        # the outside in (Figure 2 has the exit router at the root).
+        node = root
+        for label, gateway in reversed(path):
+            node = node.child(label)
+            if gateway is not None:
+                node.gateway_host = gateway
+        node.machines.append(host)
+    return _collapse_root(root)
+
+
+def _collapse_root(root: StructuralNode) -> StructuralNode:
+    """Drop empty chain-of-one root levels (cosmetic, mirrors Figure 2)."""
+    node = root
+    while not node.machines and len(node.children) == 1:
+        only_child = next(iter(node.children.values()))
+        node = only_child
+    return node
+
+
+def structural_to_envtree(node: StructuralNode) -> ENVNetwork:
+    """Convert a structural tree into an (unclassified) ENV network tree."""
+    net = ENVNetwork(label=node.label, kind=KIND_STRUCTURAL,
+                     hosts=list(node.machines), gateway=node.gateway_host)
+    net.children = [structural_to_envtree(child)
+                    for child in node.children.values()]
+    return net

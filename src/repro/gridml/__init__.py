@@ -1,0 +1,23 @@
+"""GridML: the XML dialect ENV uses to describe Grid resources and networks."""
+
+from .merge import build_alias_table, merge_documents
+from .model import GridDocument, GridProperty, MachineEntry, NetworkEntry, SiteEntry
+from .parser import GridMLParseError, from_element, from_xml, read_gridml
+from .writer import to_element, to_xml, write_gridml
+
+__all__ = [
+    "GridDocument",
+    "SiteEntry",
+    "MachineEntry",
+    "NetworkEntry",
+    "GridProperty",
+    "to_element",
+    "to_xml",
+    "write_gridml",
+    "from_element",
+    "from_xml",
+    "read_gridml",
+    "GridMLParseError",
+    "merge_documents",
+    "build_alias_table",
+]

@@ -1,0 +1,94 @@
+"""Merging GridML documents produced on each side of a firewall.
+
+Paper §4.3 ("Firewalls"): when part of the platform is firewalled, ENV is run
+once on each side and the results are merged.  *"The following merge is quite
+simple: a new GridML structure containing both sites is created, and the
+aliases of hosts belonging to both sites are provided."*  The user supplies
+the alias table of the dual-homed gateway machines, e.g.::
+
+    popc.ens-lyon.fr  popc0.popc.private
+    myri.ens-lyon.fr  myri0.popc.private
+    sci.ens-lyon.fr   sci0.popc.private
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .model import GridDocument, MachineEntry, SiteEntry
+
+__all__ = ["merge_documents", "build_alias_table"]
+
+
+def build_alias_table(pairs: Iterable[Sequence[str]]) -> Dict[str, str]:
+    """Build a symmetric alias lookup from (name-on-side-A, name-on-side-B) pairs."""
+    table: Dict[str, str] = {}
+    for pair in pairs:
+        names = list(pair)
+        if len(names) < 2:
+            raise ValueError("alias entries need at least two names")
+        for name in names:
+            for other in names:
+                if other != name:
+                    table[name] = other
+    return table
+
+
+def _merge_machines(target: MachineEntry, source: MachineEntry) -> None:
+    """Fold aliases and properties of ``source`` into ``target``."""
+    for alias in [source.name] + source.aliases:
+        if alias != target.name and alias not in target.aliases:
+            target.aliases.append(alias)
+    known = {(p.name, p.value) for p in target.properties}
+    for prop in source.properties:
+        if (prop.name, prop.value) not in known:
+            target.properties.append(prop)
+
+
+def merge_documents(doc_a: GridDocument, doc_b: GridDocument,
+                    gateway_aliases: Mapping[str, str],
+                    label: str = "Grid1") -> GridDocument:
+    """Merge two per-side GridML documents into one.
+
+    ``gateway_aliases`` maps a machine name in either document to its name in
+    the other one; machines related by an alias are kept once, carrying both
+    names (as in the paper's example where ``myri.ens-lyon.fr`` and
+    ``myri0.popc.private`` are the same physical machine).
+    Sites of both documents are preserved; the networks of both documents are
+    concatenated (the topological reconciliation is done at the ENV-view
+    level, not in GridML).
+    """
+    merged = GridDocument(label=label)
+
+    def canonical(name: str) -> str:
+        return gateway_aliases.get(name, name)
+
+    seen: Dict[str, MachineEntry] = {}
+    for doc in (doc_a, doc_b):
+        for site in doc.sites:
+            merged_site = merged.site(site.domain)
+            if merged_site is None:
+                merged_site = SiteEntry(domain=site.domain, label=site.label)
+                merged.sites.append(merged_site)
+            for machine in site.machines:
+                key = canonical(machine.name)
+                existing = seen.get(key) or seen.get(machine.name)
+                if existing is None:
+                    clone = MachineEntry(name=machine.name, ip=machine.ip,
+                                         aliases=list(machine.aliases),
+                                         properties=list(machine.properties))
+                    alias = gateway_aliases.get(machine.name)
+                    if alias and alias not in clone.aliases:
+                        clone.aliases.append(alias)
+                    merged_site.machines.append(clone)
+                    seen[machine.name] = clone
+                    seen[key] = clone
+                else:
+                    _merge_machines(existing, machine)
+                    # Make sure the machine also appears in this site's listing
+                    # (a dual-homed gateway belongs to both sites).
+                    if merged_site.machine(existing.name) is None:
+                        merged_site.machines.append(existing)
+    for doc in (doc_a, doc_b):
+        merged.networks.extend(doc.networks)
+    return merged

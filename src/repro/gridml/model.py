@@ -1,0 +1,138 @@
+"""GridML document model.
+
+GridML is the XML dialect ENV uses to describe "the physical and observable
+characteristics of resources and networks constituting a Grid" (paper §4).
+The object model below mirrors the elements appearing in the paper's
+listings:
+
+* ``GRID`` — the document root, containing sites;
+* ``SITE`` — one administrative domain, containing machines;
+* ``MACHINE`` — a host, with a ``LABEL`` (ip + canonical name), ``ALIAS``
+  entries and ``PROPERTY`` entries;
+* ``NETWORK`` — a (possibly nested) network, either *structural* (from the
+  traceroute phase) or an ENV-classified network (``ENV_Shared`` /
+  ``ENV_Switched``), containing machine references, properties and
+  sub-networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["GridProperty", "MachineEntry", "NetworkEntry", "SiteEntry", "GridDocument"]
+
+
+@dataclass
+class GridProperty:
+    """A ``PROPERTY`` element: a named value with optional units."""
+
+    name: str
+    value: str
+    units: Optional[str] = None
+
+
+@dataclass
+class MachineEntry:
+    """A ``MACHINE`` element: identity, aliases and measured properties."""
+
+    name: str
+    ip: Optional[str] = None
+    aliases: List[str] = field(default_factory=list)
+    properties: List[GridProperty] = field(default_factory=list)
+
+    def property_value(self, name: str) -> Optional[str]:
+        """Value of the first property called ``name``, or ``None``."""
+        for prop in self.properties:
+            if prop.name == name:
+                return prop.value
+        return None
+
+    def add_property(self, name: str, value: object, units: Optional[str] = None) -> None:
+        self.properties.append(GridProperty(name=name, value=str(value), units=units))
+
+
+@dataclass
+class NetworkEntry:
+    """A ``NETWORK`` element: type, label, member machines and sub-networks."""
+
+    label: str
+    network_type: str = "Structural"
+    label_ip: Optional[str] = None
+    machines: List[str] = field(default_factory=list)
+    properties: List[GridProperty] = field(default_factory=list)
+    subnetworks: List["NetworkEntry"] = field(default_factory=list)
+
+    def add_property(self, name: str, value: object, units: Optional[str] = None) -> None:
+        self.properties.append(GridProperty(name=name, value=str(value), units=units))
+
+    def property_value(self, name: str) -> Optional[str]:
+        for prop in self.properties:
+            if prop.name == name:
+                return prop.value
+        return None
+
+    def walk(self):
+        """Yield this network and all nested sub-networks (pre-order)."""
+        yield self
+        for sub in self.subnetworks:
+            yield from sub.walk()
+
+    def all_machines(self) -> List[str]:
+        """Machine names of this network and every sub-network."""
+        names: List[str] = []
+        for net in self.walk():
+            names.extend(net.machines)
+        return names
+
+
+@dataclass
+class SiteEntry:
+    """A ``SITE`` element: a DNS domain with its machines."""
+
+    domain: str
+    label: str = ""
+    machines: List[MachineEntry] = field(default_factory=list)
+
+    def machine(self, name: str) -> Optional[MachineEntry]:
+        """Find a machine by canonical name or alias."""
+        for entry in self.machines:
+            if entry.name == name or name in entry.aliases:
+                return entry
+        return None
+
+
+@dataclass
+class GridDocument:
+    """A complete GridML document."""
+
+    label: str = "Grid1"
+    sites: List[SiteEntry] = field(default_factory=list)
+    networks: List[NetworkEntry] = field(default_factory=list)
+
+    def site(self, domain: str) -> Optional[SiteEntry]:
+        for entry in self.sites:
+            if entry.domain == domain:
+                return entry
+        return None
+
+    def machine(self, name: str) -> Optional[MachineEntry]:
+        """Find a machine in any site by canonical name or alias."""
+        for site_entry in self.sites:
+            found = site_entry.machine(name)
+            if found is not None:
+                return found
+        return None
+
+    def all_machine_names(self) -> List[str]:
+        return [m.name for s in self.sites for m in s.machines]
+
+    def all_networks(self) -> List[NetworkEntry]:
+        """All networks in the document, including nested ones (pre-order)."""
+        out: List[NetworkEntry] = []
+        for net in self.networks:
+            out.extend(net.walk())
+        return out
+
+    def networks_of_type(self, network_type: str) -> List[NetworkEntry]:
+        return [n for n in self.all_networks() if n.network_type == network_type]

@@ -1,0 +1,99 @@
+"""GridML XML serialisation.
+
+Produces documents shaped like the listings of paper §4.2.1 / §4.2.2, e.g.::
+
+    <?xml version="1.0"?>
+    <GRID>
+      <SITE domain="ens-lyon.fr">
+        <LABEL name="ENS-LYON-FR" />
+        <MACHINE>
+          <LABEL ip="140.77.13.229" name="canaria.ens-lyon.fr">
+            <ALIAS name="canaria" />
+          </LABEL>
+          <PROPERTY name="CPU_model" value="Pentium Pro" />
+        </MACHINE>
+      </SITE>
+      <NETWORK type="ENV_Switched"> ... </NETWORK>
+    </GRID>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from .model import GridDocument, GridProperty, MachineEntry, NetworkEntry, SiteEntry
+
+__all__ = ["to_element", "to_xml", "write_gridml"]
+
+
+def _property_element(parent: ET.Element, prop: GridProperty) -> ET.Element:
+    attrs = {"name": prop.name, "value": prop.value}
+    if prop.units is not None:
+        attrs["units"] = prop.units
+    return ET.SubElement(parent, "PROPERTY", attrs)
+
+
+def _machine_element(parent: ET.Element, machine: MachineEntry) -> ET.Element:
+    elem = ET.SubElement(parent, "MACHINE")
+    label_attrs = {"name": machine.name}
+    if machine.ip is not None:
+        label_attrs["ip"] = machine.ip
+    label = ET.SubElement(elem, "LABEL", label_attrs)
+    for alias in machine.aliases:
+        ET.SubElement(label, "ALIAS", {"name": alias})
+    for prop in machine.properties:
+        _property_element(elem, prop)
+    return elem
+
+
+def _network_element(parent: ET.Element, network: NetworkEntry) -> ET.Element:
+    elem = ET.SubElement(parent, "NETWORK", {"type": network.network_type})
+    label_attrs = {"name": network.label}
+    if network.label_ip is not None:
+        label_attrs["ip"] = network.label_ip
+    ET.SubElement(elem, "LABEL", label_attrs)
+    for prop in network.properties:
+        _property_element(elem, prop)
+    for machine_name in network.machines:
+        ET.SubElement(elem, "MACHINE", {"name": machine_name})
+    for sub in network.subnetworks:
+        _network_element(elem, sub)
+    return elem
+
+
+def to_element(doc: GridDocument) -> ET.Element:
+    """Convert a :class:`GridDocument` to an ``xml.etree`` element tree."""
+    root = ET.Element("GRID")
+    if doc.label:
+        ET.SubElement(root, "LABEL", {"name": doc.label})
+    for site in doc.sites:
+        site_elem = ET.SubElement(root, "SITE", {"domain": site.domain})
+        if site.label:
+            ET.SubElement(site_elem, "LABEL", {"name": site.label})
+        for machine in site.machines:
+            _machine_element(site_elem, machine)
+    for network in doc.networks:
+        _network_element(root, network)
+    return root
+
+
+def to_xml(doc: GridDocument, pretty: bool = True) -> str:
+    """Serialise a :class:`GridDocument` to an XML string."""
+    root = to_element(doc)
+    raw = ET.tostring(root, encoding="unicode")
+    if not pretty:
+        return '<?xml version="1.0"?>\n' + raw
+    parsed = minidom.parseString(raw)
+    pretty_text = parsed.toprettyxml(indent="  ")
+    # minidom puts its own declaration; normalise it.
+    lines = [line for line in pretty_text.splitlines() if line.strip()]
+    if lines and lines[0].startswith("<?xml"):
+        lines[0] = '<?xml version="1.0"?>'
+    return "\n".join(lines) + "\n"
+
+
+def write_gridml(doc: GridDocument, path: str, pretty: bool = True) -> None:
+    """Write a :class:`GridDocument` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_xml(doc, pretty=pretty))

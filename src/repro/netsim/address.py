@@ -1,0 +1,123 @@
+"""IPv4 addressing helpers.
+
+The ENV mapper groups unnamed hosts by their classful network (paper §4.3,
+"Machines without hostname": *we modified ENV to simply use IP address class
+if IP resolution fails*) and must keep non-routable (RFC 1918) addresses in
+the mapped domain.  This module provides the small amount of IPv4 machinery
+needed for that: parsing, classful network extraction and private-range
+detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+__all__ = ["IPv4Address", "parse_ip", "classful_network", "is_private_ip"]
+
+
+def _parse_octets(text: str) -> int:
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet {octet} in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPv4Address:
+    """An IPv4 address with classful and RFC 1918 helpers."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"IPv4 value out of range: {self.value}")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation."""
+        return cls(_parse_octets(text))
+
+    # -- rendering ----------------------------------------------------------
+    @property
+    def octets(self) -> tuple:
+        v = self.value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.octets)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"IPv4Address({str(self)!r})"
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self.value < other.value
+
+    # -- classification -----------------------------------------------------
+    @property
+    def address_class(self) -> str:
+        """The historical address class: 'A', 'B', 'C', 'D' or 'E'."""
+        first = self.octets[0]
+        if first < 128:
+            return "A"
+        if first < 192:
+            return "B"
+        if first < 224:
+            return "C"
+        if first < 240:
+            return "D"
+        return "E"
+
+    @property
+    def classful_network(self) -> str:
+        """The classful network prefix as a dotted string (e.g. ``140.77.0.0``)."""
+        o = self.octets
+        cls = self.address_class
+        if cls == "A":
+            return f"{o[0]}.0.0.0"
+        if cls == "B":
+            return f"{o[0]}.{o[1]}.0.0"
+        if cls == "C":
+            return f"{o[0]}.{o[1]}.{o[2]}.0"
+        return str(self)
+
+    @property
+    def is_private(self) -> bool:
+        """True for RFC 1918 (non-routable) addresses."""
+        o = self.octets
+        if o[0] == 10:
+            return True
+        if o[0] == 172 and 16 <= o[1] <= 31:
+            return True
+        if o[0] == 192 and o[1] == 168:
+            return True
+        return False
+
+    def same_subnet_24(self, other: "IPv4Address") -> bool:
+        """Whether both addresses share the same /24 prefix."""
+        return (self.value >> 8) == (other.value >> 8)
+
+
+def parse_ip(text: str) -> IPv4Address:
+    """Convenience wrapper around :meth:`IPv4Address.parse`."""
+    return IPv4Address.parse(text)
+
+
+def classful_network(text: str) -> str:
+    """Classful network of a dotted-quad address string."""
+    return IPv4Address.parse(text).classful_network
+
+
+def is_private_ip(text: str) -> bool:
+    """Whether a dotted-quad address string is in an RFC 1918 range."""
+    return IPv4Address.parse(text).is_private

@@ -1,0 +1,125 @@
+"""High-level topology construction helpers.
+
+The :class:`SiteBuilder` assembles the recurring building blocks of Grid
+platforms as the paper describes them (§5: "a WAN constellation of LAN
+resources"): hub segments, switched clusters, routers and up-links.  The
+synthetic generators (:mod:`repro.netsim.generators`) and the ENS-Lyon
+platform (:mod:`repro.netsim.ens_lyon`) are built with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .topology import Link, Node, Platform
+
+__all__ = ["SiteBuilder", "ClusterSpec"]
+
+
+@dataclass
+class ClusterSpec:
+    """Description of a cluster attached to a site.
+
+    ``kind`` is ``"hub"`` (shared segment) or ``"switch"`` (dedicated ports).
+    ``gateway`` optionally names a dual-homed host that bridges the cluster to
+    the site backbone (as popc0/myri0/sci0 do in ENS-Lyon).
+    """
+
+    name: str
+    kind: str
+    hosts: List[str]
+    bandwidth_mbps: float = 100.0
+    latency_s: float = 1e-4
+    gateway: Optional[str] = None
+
+
+class SiteBuilder:
+    """Incrementally builds a :class:`Platform` out of sites and clusters."""
+
+    def __init__(self, platform: Optional[Platform] = None, name: str = "platform"):
+        self.platform = platform if platform is not None else Platform(name)
+        self._ip_counter: Dict[str, int] = {}
+
+    # -- address allocation -----------------------------------------------------
+    def _next_ip(self, prefix: str) -> str:
+        count = self._ip_counter.get(prefix, 0) + 1
+        if count > 254:
+            raise ValueError(f"subnet {prefix!r} exhausted")
+        self._ip_counter[prefix] = count
+        return f"{prefix}.{count}"
+
+    # -- element helpers -----------------------------------------------------------
+    def add_host(self, name: str, subnet: str, domain: str = "",
+                 ip: Optional[str] = None, unnamed: bool = False,
+                 properties: Optional[Dict[str, object]] = None) -> Node:
+        """Add a host, auto-assigning an address in ``subnet`` unless given."""
+        return self.platform.add_host(name, ip or self._next_ip(subnet),
+                                      domain=domain, unnamed=unnamed,
+                                      properties=properties)
+
+    def add_hub_segment(self, hub_name: str, members: Sequence[str],
+                        bandwidth_mbps: float, latency_s: float = 1e-4) -> Node:
+        """Create a hub and attach existing nodes to it with half-duplex links."""
+        hub = self.platform.add_hub(hub_name, bandwidth_mbps)
+        for member in members:
+            self.platform.add_link(member, hub_name, bandwidth_mbps,
+                                   latency_s=latency_s, duplex=False)
+        return hub
+
+    def add_switch_segment(self, switch_name: str, members: Sequence[str],
+                           bandwidth_mbps: float, latency_s: float = 1e-4) -> Node:
+        """Create a switch and attach existing nodes with full-duplex port links."""
+        switch = self.platform.add_switch(switch_name)
+        for member in members:
+            self.platform.add_link(member, switch_name, bandwidth_mbps,
+                                   latency_s=latency_s, duplex=True)
+        return switch
+
+    def add_router(self, name: str, ip: str, answers_traceroute: bool = True,
+                   interface_ips: Optional[Dict[str, str]] = None) -> Node:
+        return self.platform.add_router(name, ip,
+                                        answers_traceroute=answers_traceroute,
+                                        interface_ips=interface_ips)
+
+    def connect(self, a: str, b: str, bandwidth_mbps: float,
+                latency_s: float = 1e-4, duplex: bool = True) -> Link:
+        """Point-to-point connection between two existing nodes."""
+        return self.platform.add_link(a, b, bandwidth_mbps,
+                                      latency_s=latency_s, duplex=duplex)
+
+    # -- composite helpers --------------------------------------------------------
+    def add_cluster(self, spec: ClusterSpec, subnet: str, domain: str = "",
+                    attach_to: Optional[str] = None,
+                    uplink_mbps: Optional[float] = None,
+                    uplink_latency_s: float = 5e-4) -> List[Node]:
+        """Create a whole cluster (hosts + segment + optional up-link).
+
+        Returns the created host nodes.  If ``spec.gateway`` is set, that host
+        bridges the cluster to ``attach_to``; otherwise the segment element
+        itself is connected to ``attach_to``.
+        """
+        hosts = [self.add_host(h, subnet, domain=domain) for h in spec.hosts]
+        segment_name = f"{spec.name}-segment"
+        if spec.kind == "hub":
+            self.add_hub_segment(segment_name, spec.hosts, spec.bandwidth_mbps,
+                                 latency_s=spec.latency_s)
+        elif spec.kind == "switch":
+            self.add_switch_segment(segment_name, spec.hosts, spec.bandwidth_mbps,
+                                    latency_s=spec.latency_s)
+        else:
+            raise ValueError(f"unknown cluster kind {spec.kind!r}")
+        if attach_to is not None:
+            uplink_bw = uplink_mbps if uplink_mbps is not None else spec.bandwidth_mbps
+            bridge = spec.gateway if spec.gateway is not None else segment_name
+            if spec.gateway is not None and spec.gateway not in spec.hosts:
+                raise ValueError("gateway must be one of the cluster hosts")
+            self.connect(bridge, attach_to, uplink_bw, latency_s=uplink_latency_s)
+        return hosts
+
+    def build(self) -> Platform:
+        """Validate and return the constructed platform."""
+        problems = self.platform.validate()
+        if problems:
+            raise ValueError("invalid platform: " + "; ".join(problems))
+        return self.platform

@@ -1,0 +1,97 @@
+"""A toy DNS resolver for the simulated platform.
+
+ENV identifies hosts by their fully-qualified domain name when available and
+falls back to the IP address (grouped by classful network) when resolution
+fails — some machines in the ENS-Lyon platform have no configured name
+(paper §4.3).  The :class:`Resolver` models exactly that: forward and reverse
+maps, per-host domain extraction, and the ability to register *unnamed*
+hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .address import IPv4Address
+
+__all__ = ["Resolver", "ResolutionError"]
+
+
+class ResolutionError(KeyError):
+    """Raised when a name or address cannot be resolved."""
+
+
+class Resolver:
+    """Forward (name→IP) and reverse (IP→name) resolution with aliases."""
+
+    def __init__(self) -> None:
+        self._name_to_ip: Dict[str, IPv4Address] = {}
+        self._ip_to_name: Dict[IPv4Address, str] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # -- registration --------------------------------------------------------
+    def register(self, name: Optional[str], ip: IPv4Address | str,
+                 aliases: Iterable[str] = ()) -> None:
+        """Register ``name`` ⇄ ``ip``.  ``name=None`` registers an unnamed host."""
+        if isinstance(ip, str):
+            ip = IPv4Address.parse(ip)
+        if name is not None:
+            self._name_to_ip[name] = ip
+            self._ip_to_name[ip] = name
+            for alias in aliases:
+                self._aliases[alias] = name
+                self._name_to_ip.setdefault(alias, ip)
+        else:
+            # Unnamed host: reverse resolution must fail, but the address is
+            # still routable/known to the platform.
+            self._ip_to_name.pop(ip, None)
+
+    def add_alias(self, alias: str, canonical: str) -> None:
+        """Declare ``alias`` as another name of ``canonical``."""
+        if canonical not in self._name_to_ip:
+            raise ResolutionError(canonical)
+        self._aliases[alias] = canonical
+        self._name_to_ip[alias] = self._name_to_ip[canonical]
+
+    # -- queries --------------------------------------------------------------
+    def resolve(self, name: str) -> IPv4Address:
+        """Name → IP (raises :class:`ResolutionError` if unknown)."""
+        try:
+            return self._name_to_ip[name]
+        except KeyError:
+            raise ResolutionError(name) from None
+
+    def reverse(self, ip: IPv4Address | str) -> str:
+        """IP → canonical name (raises :class:`ResolutionError` if unnamed)."""
+        if isinstance(ip, str):
+            ip = IPv4Address.parse(ip)
+        try:
+            return self._ip_to_name[ip]
+        except KeyError:
+            raise ResolutionError(str(ip)) from None
+
+    def try_reverse(self, ip: IPv4Address | str) -> Optional[str]:
+        """IP → name, or ``None`` when resolution fails."""
+        try:
+            return self.reverse(ip)
+        except ResolutionError:
+            return None
+
+    def canonical(self, name: str) -> str:
+        """Resolve aliases to the canonical registered name."""
+        return self._aliases.get(name, name)
+
+    def aliases_of(self, canonical: str) -> List[str]:
+        """All aliases registered for ``canonical``."""
+        return sorted(a for a, c in self._aliases.items() if c == canonical)
+
+    @staticmethod
+    def domain_of(fqdn: str) -> str:
+        """The DNS domain of a fully-qualified name (empty for bare names)."""
+        if "." not in fqdn:
+            return ""
+        return fqdn.split(".", 1)[1]
+
+    def known_names(self) -> List[str]:
+        """All registered canonical names (aliases excluded)."""
+        return sorted(set(self._ip_to_name.values()))

@@ -1,0 +1,178 @@
+"""The ENS-Lyon test platform of the paper (Figure 1(a)).
+
+The physical topology is reconstructed from the description in §4 and §5:
+
+* the ``ens-lyon.fr`` side: hosts *the-doors*, *moby* and *canaria* on a
+  100 Mbit/s hub segment (rendered as "Hub 1" in the effective view), behind
+  the router ``140.77.13.1``, itself behind the site exit router whose
+  address is the non-routable ``192.168.254.1``;
+* the LHPC side: the dual-homed gateways *popc0*, *myri0* and *sci0* share a
+  100 Mbit/s hub ("Hub 2") behind the ``routlhpc`` router
+  (``140.77.12.1``) and the backbone router (``140.77.161.1``);
+* the *myri* cluster: *myri1*, *myri2* behind gateway *myri0* on a shared
+  100 Mbit/s hub ("Hub 3");
+* the *sci* cluster: *sci1* … *sci6* behind gateway *sci0* on a switched
+  100 Mbit/s segment;
+* the path from *the-doors* towards the LHPC machines crosses a 10 Mbit/s
+  bottleneck (via ``giga_router``) while the reverse path uses 100 Mbit/s
+  links only — the asymmetric-route situation discussed in §4.3;
+* the ``popc.private`` domain is firewalled: its non-gateway hosts cannot
+  communicate with the ``ens-lyon.fr`` side (§4.3 "Firewalls").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .builders import SiteBuilder
+from .firewall import Firewall, attach_firewall
+from .topology import Platform
+
+__all__ = [
+    "ENS_LYON_DOMAIN",
+    "POPC_PRIVATE_DOMAIN",
+    "GATEWAY_ALIASES",
+    "PUBLIC_HOSTS",
+    "PRIVATE_HOSTS",
+    "build_ens_lyon",
+    "expected_effective_groups",
+]
+
+ENS_LYON_DOMAIN = "ens-lyon.fr"
+POPC_PRIVATE_DOMAIN = "popc.private"
+
+#: Dual-homed gateway hosts and their public-side aliases (paper §4.3).
+GATEWAY_ALIASES: Dict[str, str] = {
+    "popc0": "popc.ens-lyon.fr",
+    "myri0": "myri.ens-lyon.fr",
+    "sci0": "sci.ens-lyon.fr",
+}
+
+#: Hosts reachable on the public (ens-lyon.fr) side of the firewall.
+PUBLIC_HOSTS: List[str] = ["the-doors", "moby", "canaria",
+                           "popc0", "myri0", "sci0"]
+
+#: Hosts of the firewalled popc.private domain (gateways included).
+PRIVATE_HOSTS: List[str] = ["popc0", "myri0", "sci0",
+                            "myri1", "myri2",
+                            "sci1", "sci2", "sci3", "sci4", "sci5", "sci6"]
+
+
+def build_ens_lyon(with_firewall: bool = True,
+                   asymmetric_routes: bool = True) -> Platform:
+    """Build the ENS-Lyon platform of Figure 1(a).
+
+    Parameters
+    ----------
+    with_firewall:
+        Isolate the ``popc.private`` domain (non-gateway hosts cannot reach
+        the public side), as in the paper.  Disable to study the
+        single-mapping variant.
+    asymmetric_routes:
+        Route traffic from the LHPC gateways back to the public hosts over
+        the 100 Mbit/s backbone path while the forward path crosses the
+        10 Mbit/s bottleneck, as observed in the paper.
+    """
+    b = SiteBuilder(name="ens-lyon")
+    platform = b.platform
+
+    # --- public side -----------------------------------------------------------
+    b.add_host("the-doors", subnet="140.77.13", ip="140.77.13.10",
+               domain=ENS_LYON_DOMAIN,
+               properties={"CPU_model": "Pentium III", "OS_version": "Linux 2.4"})
+    b.add_host("moby", subnet="140.77.13", ip="140.77.13.82",
+               domain=ENS_LYON_DOMAIN,
+               properties={"CPU_model": "Pentium III", "OS_version": "Linux 2.4"})
+    b.add_host("canaria", subnet="140.77.13", ip="140.77.13.229",
+               domain=ENS_LYON_DOMAIN,
+               properties={"CPU_model": "Pentium Pro", "OS_version": "Linux 2.4"})
+    b.add_router("router-13", ip="140.77.13.1")
+    b.add_hub_segment("hub1", ["the-doors", "moby", "canaria", "router-13"],
+                      bandwidth_mbps=100.0, latency_s=1e-4)
+
+    # Site exit router: reports a non-routable address (root of Figure 2).
+    b.add_router("site-exit", ip="192.168.254.1")
+    b.connect("router-13", "site-exit", 100.0, latency_s=2e-4)
+    platform.add_external("internet")
+    b.connect("site-exit", "internet", 100.0, latency_s=5e-3)
+
+    # Backbone towards the LHPC machine room.
+    b.add_router("routeur-backbone", ip="140.77.161.1")
+    b.connect("site-exit", "routeur-backbone", 100.0, latency_s=2e-4)
+    b.add_router("routlhpc", ip="140.77.12.1")
+    b.connect("routeur-backbone", "routlhpc", 100.0, latency_s=2e-4)
+
+    # The 10 Mbit/s bottleneck path used from the public side towards LHPC.
+    b.add_router("giga_router", ip="140.77.12.254")
+    b.connect("router-13", "giga_router", 100.0, latency_s=2e-4)
+    b.connect("giga_router", "routlhpc", 10.0, latency_s=2e-4)
+
+    # --- LHPC gateways (dual-homed hosts, Hub 2) ---------------------------------
+    b.add_host("popc0", subnet="192.168.81", ip="192.168.81.10",
+               domain=POPC_PRIVATE_DOMAIN,
+               properties={"CPU_model": "Pentium III", "kflops": 21000})
+    b.add_host("myri0", subnet="192.168.81", ip="192.168.81.50",
+               domain=POPC_PRIVATE_DOMAIN,
+               properties={"CPU_model": "Pentium III", "kflops": 21000})
+    b.add_host("sci0", subnet="192.168.81", ip="192.168.81.90",
+               domain=POPC_PRIVATE_DOMAIN,
+               properties={"CPU_model": "Pentium III", "kflops": 21000})
+    b.add_hub_segment("hub2", ["popc0", "myri0", "sci0", "routlhpc"],
+                      bandwidth_mbps=100.0, latency_s=1e-4)
+
+    # Public-side aliases of the gateways.
+    for private_name, public_fqdn in GATEWAY_ALIASES.items():
+        platform.resolver.register(public_fqdn, str(platform.nodes[private_name].ip))
+        platform.resolver.add_alias(public_fqdn.split(".")[0], public_fqdn)
+
+    # --- myri cluster: shared 100 Mbit/s hub (Hub 3) ------------------------------
+    b.add_host("myri1", subnet="192.168.82", ip="192.168.82.1",
+               domain=POPC_PRIVATE_DOMAIN)
+    b.add_host("myri2", subnet="192.168.82", ip="192.168.82.2",
+               domain=POPC_PRIVATE_DOMAIN)
+    b.add_hub_segment("hub3", ["myri0", "myri1", "myri2"],
+                      bandwidth_mbps=100.0, latency_s=1e-4)
+
+    # --- sci cluster: switched 100 Mbit/s segment ---------------------------------
+    sci_hosts = [f"sci{i}" for i in range(1, 7)]
+    for i, name in enumerate(sci_hosts, start=1):
+        b.add_host(name, subnet="192.168.83", ip=f"192.168.83.{i}",
+                   domain=POPC_PRIVATE_DOMAIN)
+    b.add_switch_segment("sci-switch", ["sci0"] + sci_hosts,
+                         bandwidth_mbps=100.0, latency_s=1e-4)
+
+    # --- asymmetric return routes -------------------------------------------------
+    if asymmetric_routes:
+        backbone_path = ["hub2", "routlhpc", "routeur-backbone", "site-exit",
+                         "router-13", "hub1"]
+        for gw in ("popc0", "myri0", "sci0"):
+            for public in ("the-doors", "moby", "canaria"):
+                platform.set_route(gw, public, [gw] + backbone_path + [public])
+
+    # --- firewall ------------------------------------------------------------------
+    if with_firewall:
+        fw = Firewall()
+        fw.isolate_domain(POPC_PRIVATE_DOMAIN,
+                          gateways=("popc0", "myri0", "sci0"))
+        attach_firewall(platform, fw)
+
+    problems = platform.validate()
+    if problems:
+        raise AssertionError("ENS-Lyon platform failed validation: "
+                             + "; ".join(problems))
+    return platform
+
+
+def expected_effective_groups() -> Dict[str, Dict[str, object]]:
+    """Ground-truth effective grouping of Figure 1(b).
+
+    Maps a symbolic group name to its member hosts and sharing kind; used by
+    tests and by the FIG-1b benchmark to score the mapper output.
+    """
+    return {
+        "hub1": {"hosts": {"the-doors", "moby", "canaria"}, "kind": "shared"},
+        "hub2": {"hosts": {"popc0", "myri0", "sci0"}, "kind": "shared"},
+        "hub3": {"hosts": {"myri1", "myri2"}, "kind": "shared"},
+        "sci-switch": {"hosts": {"sci1", "sci2", "sci3", "sci4", "sci5", "sci6"},
+                       "kind": "switched"},
+    }

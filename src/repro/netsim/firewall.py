@@ -1,0 +1,83 @@
+"""Firewall model.
+
+The ENS-Lyon platform of the paper contains a private, firewalled domain
+(``popc.private``): its internal hosts cannot communicate with the outside
+world, only the dual-homed gateways (``popc0``, ``myri0``, ``sci0``) can.
+ENV therefore has to be run once on each side of the firewall and the two
+GridML documents merged (paper §4.3, "Firewalls").
+
+The :class:`Firewall` implements a simple domain-isolation policy with
+explicit gateway exemptions, which is all the paper's scenario requires, plus
+arbitrary pairwise deny rules for synthetic scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+from .topology import Platform
+
+__all__ = ["CommunicationBlocked", "Firewall", "attach_firewall", "platform_allows"]
+
+
+class CommunicationBlocked(RuntimeError):
+    """Raised (or used to fail probe events) when a firewall blocks a flow."""
+
+    def __init__(self, src: str, dst: str):
+        super().__init__(f"communication blocked by firewall: {src} -> {dst}")
+        self.src = src
+        self.dst = dst
+
+
+class Firewall:
+    """Domain-isolation firewall with gateway exemptions and deny rules."""
+
+    def __init__(self) -> None:
+        #: Domains whose members may only talk to hosts of the same domain.
+        self.isolated_domains: Set[str] = set()
+        #: Hosts allowed to cross an isolation boundary (dual-homed gateways).
+        self.gateways: Set[str] = set()
+        #: Explicit (src, dst) pairs that are always denied (directional).
+        self.deny_pairs: Set[Tuple[str, str]] = set()
+
+    def isolate_domain(self, domain: str, gateways: Iterable[str] = ()) -> None:
+        """Prevent hosts of ``domain`` from talking outside it, except gateways."""
+        self.isolated_domains.add(domain)
+        self.gateways.update(gateways)
+
+    def deny(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        """Deny traffic from ``src`` to ``dst`` (and back unless told otherwise)."""
+        self.deny_pairs.add((src, dst))
+        if bidirectional:
+            self.deny_pairs.add((dst, src))
+
+    def allows(self, platform: Platform, src: str, dst: str) -> bool:
+        """Whether a flow from host ``src`` to host ``dst`` is permitted."""
+        if (src, dst) in self.deny_pairs:
+            return False
+        if not self.isolated_domains:
+            return True
+        src_node = platform.nodes.get(src)
+        dst_node = platform.nodes.get(dst)
+        if src_node is None or dst_node is None:
+            return True
+        src_dom, dst_dom = src_node.domain, dst_node.domain
+        if src_dom == dst_dom:
+            return True
+        for endpoint, domain in ((src, src_dom), (dst, dst_dom)):
+            if domain in self.isolated_domains and endpoint not in self.gateways:
+                return False
+        return True
+
+
+def attach_firewall(platform: Platform, firewall: Firewall) -> None:
+    """Attach ``firewall`` to ``platform`` (consulted by flows and probes)."""
+    platform.firewall = firewall  # type: ignore[attr-defined]
+
+
+def platform_allows(platform: Platform, src: str, dst: str) -> bool:
+    """Whether the platform's firewall (if any) permits ``src`` → ``dst``."""
+    firewall: Optional[Firewall] = getattr(platform, "firewall", None)
+    if firewall is None:
+        return True
+    return firewall.allows(platform, src, dst)

@@ -1,0 +1,185 @@
+"""Synthetic platform generators.
+
+The paper's quantitative arguments (naive-mapping cost, clique frequency,
+plan quality) deserve evaluation beyond the single ENS-Lyon case study, so
+the benchmark suite sweeps over synthetic platforms shaped like the ones the
+paper targets: "a WAN constellation of LAN resources" (§5) — several sites
+joined by a backbone, each site holding a mix of hub segments and switched
+clusters behind routers, optionally with firewalled private sub-domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .builders import SiteBuilder
+from .firewall import Firewall, attach_firewall
+from .topology import Platform
+
+__all__ = ["SyntheticSpec", "generate_constellation", "generate_single_site",
+           "ground_truth_groups"]
+
+
+@dataclass
+class SyntheticSpec:
+    """Parameters of a synthetic Grid constellation."""
+
+    sites: int = 2
+    clusters_per_site: Tuple[int, int] = (1, 3)        # inclusive range
+    hosts_per_cluster: Tuple[int, int] = (2, 6)        # inclusive range
+    hub_probability: float = 0.5                       # else switched
+    lan_bandwidth_mbps: Tuple[float, ...] = (100.0, 1000.0)
+    wan_bandwidth_mbps: float = 10.0
+    lan_latency_s: float = 1e-4
+    wan_latency_s: float = 5e-3
+    firewall_probability: float = 0.0
+    seed: int = 0
+
+
+def _site_subnet(site_idx: int, cluster_idx: int) -> str:
+    return f"10.{site_idx + 1}.{cluster_idx + 1}"
+
+
+def generate_constellation(spec: SyntheticSpec) -> Platform:
+    """Generate a multi-site platform according to ``spec``.
+
+    The ground-truth grouping (which hosts share a segment and of which kind)
+    is recorded on the platform as ``platform.ground_truth`` for scoring.
+    """
+    rng = np.random.default_rng(spec.seed)
+    b = SiteBuilder(name=f"synthetic-{spec.seed}")
+    platform = b.platform
+    platform.add_external("internet")
+
+    ground_truth: Dict[str, Dict[str, object]] = {}
+    backbone_name = "backbone"
+    b.add_router(backbone_name, ip="192.168.254.1")
+    b.connect(backbone_name, "internet", spec.wan_bandwidth_mbps * 10,
+              latency_s=spec.wan_latency_s)
+
+    firewall = Firewall()
+    any_firewalled = False
+
+    for s in range(spec.sites):
+        site_router = f"site{s}-router"
+        b.add_router(site_router, ip=f"10.{s + 1}.0.1")
+        b.connect(site_router, backbone_name, spec.wan_bandwidth_mbps,
+                  latency_s=spec.wan_latency_s)
+        domain = f"site{s}.example.org"
+        n_clusters = int(rng.integers(spec.clusters_per_site[0],
+                                      spec.clusters_per_site[1] + 1))
+        for c in range(n_clusters):
+            n_hosts = int(rng.integers(spec.hosts_per_cluster[0],
+                                       spec.hosts_per_cluster[1] + 1))
+            kind = "hub" if rng.random() < spec.hub_probability else "switch"
+            bw = float(rng.choice(spec.lan_bandwidth_mbps))
+            host_names = [f"s{s}c{c}h{h}" for h in range(n_hosts)]
+            subnet = _site_subnet(s, c)
+            for name in host_names:
+                b.add_host(name, subnet=subnet, domain=domain)
+            segment = f"s{s}c{c}-{kind}"
+            if kind == "hub":
+                b.add_hub_segment(segment, host_names, bw,
+                                  latency_s=spec.lan_latency_s)
+            else:
+                b.add_switch_segment(segment, host_names, bw,
+                                     latency_s=spec.lan_latency_s)
+            # Up-link: the cluster's first host is dual-homed gateway half the
+            # time, otherwise the segment connects straight to the site router.
+            # The site router reports a per-subnet interface address (as real
+            # routers do), so traceroutes separate the clusters structurally.
+            if n_hosts >= 2 and rng.random() < 0.5:
+                # The dual-homed gateway itself shows up as a traceroute hop,
+                # which is enough structural separation.
+                gateway = host_names[0]
+                b.connect(gateway, site_router, bw, latency_s=spec.lan_latency_s)
+            else:
+                gateway = None
+                b.connect(segment, site_router, bw, latency_s=spec.lan_latency_s)
+                from .address import IPv4Address
+                platform.nodes[site_router].interface_ips[segment] = \
+                    IPv4Address.parse(f"{subnet}.254")
+            ground_truth[segment] = {
+                "hosts": set(host_names),
+                "kind": "shared" if kind == "hub" else "switched",
+                "site": s,
+                "gateway": gateway,
+                "bandwidth_mbps": bw,
+            }
+            if spec.firewall_probability > 0 and rng.random() < spec.firewall_probability:
+                private_domain = f"private-s{s}c{c}"
+                for name in host_names:
+                    platform.nodes[name].domain = private_domain
+                gateways = [gateway] if gateway else [host_names[0]]
+                firewall.isolate_domain(private_domain, gateways=gateways)
+                any_firewalled = True
+
+    if any_firewalled:
+        attach_firewall(platform, firewall)
+
+    platform.ground_truth = ground_truth  # type: ignore[attr-defined]
+    problems = platform.validate()
+    if problems:
+        raise AssertionError("synthetic platform failed validation: "
+                             + "; ".join(problems))
+    return platform
+
+
+def generate_single_site(n_hub_clusters: int = 1, n_switch_clusters: int = 1,
+                         hosts_per_cluster: int = 4,
+                         bandwidth_mbps: float = 100.0,
+                         seed: int = 0) -> Platform:
+    """A deterministic single-site platform (useful for unit tests)."""
+    spec = SyntheticSpec(sites=1,
+                         clusters_per_site=(n_hub_clusters + n_switch_clusters,
+                                            n_hub_clusters + n_switch_clusters),
+                         hosts_per_cluster=(hosts_per_cluster, hosts_per_cluster),
+                         hub_probability=1.0,
+                         lan_bandwidth_mbps=(bandwidth_mbps,),
+                         seed=seed)
+    # Build manually so the hub/switch split is exact rather than probabilistic.
+    b = SiteBuilder(name=f"single-site-{seed}")
+    platform = b.platform
+    platform.add_external("internet")
+    b.add_router("site-router", ip="10.1.0.1")
+    b.connect("site-router", "internet", 100.0, latency_s=5e-3)
+    ground_truth: Dict[str, Dict[str, object]] = {}
+    cluster_idx = 0
+    for kind, count in (("hub", n_hub_clusters), ("switch", n_switch_clusters)):
+        for _ in range(count):
+            host_names = [f"c{cluster_idx}h{h}" for h in range(hosts_per_cluster)]
+            subnet = _site_subnet(0, cluster_idx)
+            for name in host_names:
+                b.add_host(name, subnet=subnet, domain="site0.example.org")
+            segment = f"c{cluster_idx}-{kind}"
+            if kind == "hub":
+                b.add_hub_segment(segment, host_names, bandwidth_mbps)
+            else:
+                b.add_switch_segment(segment, host_names, bandwidth_mbps)
+            b.connect(segment, "site-router", bandwidth_mbps)
+            # Per-subnet router interface address: traceroutes from different
+            # clusters report different first hops (structural separation).
+            from .address import IPv4Address
+            platform.nodes["site-router"].interface_ips[segment] = \
+                IPv4Address.parse(f"{subnet}.254")
+            ground_truth[segment] = {
+                "hosts": set(host_names),
+                "kind": "shared" if kind == "hub" else "switched",
+                "site": 0,
+                "gateway": None,
+                "bandwidth_mbps": bandwidth_mbps,
+            }
+            cluster_idx += 1
+    platform.ground_truth = ground_truth  # type: ignore[attr-defined]
+    return platform
+
+
+def ground_truth_groups(platform: Platform) -> Dict[str, Dict[str, object]]:
+    """The recorded ground-truth grouping of a generated platform."""
+    truth = getattr(platform, "ground_truth", None)
+    if truth is None:
+        raise ValueError("platform has no recorded ground truth")
+    return truth

@@ -1,0 +1,105 @@
+"""Background traffic generation.
+
+The paper notes (§4.3 "Reliability and accuracy") that ENV results can be
+corrupted if the network load evolves during the mapping, and NWS exists
+precisely because platform availability fluctuates.  The load generators
+below inject synthetic competing traffic into the flow model so experiments
+can study how mapping and monitoring behave on non-quiet networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..simkernel import Engine, Interrupt, Process
+from .flows import FlowModel
+
+__all__ = ["LoadSpec", "BackgroundLoad", "poisson_pair_load", "constant_pair_load"]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Description of one background traffic source.
+
+    ``interarrival_s`` is the mean gap between transfer starts; ``size_bytes``
+    the mean transfer size.  Exponential distributions are used for both when
+    a generator is supplied, otherwise the means are used deterministically.
+    """
+
+    src: str
+    dst: str
+    interarrival_s: float
+    size_bytes: float
+    jitter: bool = True
+
+
+class BackgroundLoad:
+    """Drives a set of :class:`LoadSpec` sources on a flow model."""
+
+    def __init__(self, flow_model: FlowModel, specs: Sequence[LoadSpec],
+                 rng: Optional[np.random.Generator] = None):
+        self.flow_model = flow_model
+        self.engine: Engine = flow_model.engine
+        self.specs = list(specs)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.processes: List[Process] = []
+        self.generated_bytes = 0.0
+        self.generated_transfers = 0
+        self._running = False
+
+    def _source(self, spec: LoadSpec) -> Generator:
+        while True:
+            if spec.jitter:
+                gap = float(self.rng.exponential(spec.interarrival_s))
+                size = max(1.0, float(self.rng.exponential(spec.size_bytes)))
+            else:
+                gap = spec.interarrival_s
+                size = spec.size_bytes
+            try:
+                yield self.engine.timeout(gap)
+            except Interrupt:
+                return
+            self.generated_bytes += size
+            self.generated_transfers += 1
+            # Fire-and-forget: background transfers do not block the source.
+            self.flow_model.transfer(spec.src, spec.dst, size,
+                                     label=f"load:{spec.src}->{spec.dst}")
+
+    def start(self) -> None:
+        """Start all background sources."""
+        if self._running:
+            return
+        self._running = True
+        for spec in self.specs:
+            self.processes.append(
+                self.engine.process(self._source(spec),
+                                    name=f"load:{spec.src}->{spec.dst}")
+            )
+
+    def stop(self) -> None:
+        """Interrupt all background sources."""
+        for proc in self.processes:
+            proc.interrupt("load stopped")
+        self.processes.clear()
+        self._running = False
+
+
+def constant_pair_load(flow_model: FlowModel, pairs: Sequence[Tuple[str, str]],
+                       interarrival_s: float = 1.0,
+                       size_bytes: float = 256 * 1024) -> BackgroundLoad:
+    """Deterministic periodic load on each pair (no jitter)."""
+    specs = [LoadSpec(src=a, dst=b, interarrival_s=interarrival_s,
+                      size_bytes=size_bytes, jitter=False) for a, b in pairs]
+    return BackgroundLoad(flow_model, specs)
+
+
+def poisson_pair_load(flow_model: FlowModel, pairs: Sequence[Tuple[str, str]],
+                      rng: np.random.Generator, interarrival_s: float = 1.0,
+                      size_bytes: float = 256 * 1024) -> BackgroundLoad:
+    """Poisson-arrival, exponential-size load on each pair."""
+    specs = [LoadSpec(src=a, dst=b, interarrival_s=interarrival_s,
+                      size_bytes=size_bytes, jitter=True) for a, b in pairs]
+    return BackgroundLoad(flow_model, specs, rng=rng)

@@ -1,0 +1,135 @@
+"""TCP-level measurement primitives.
+
+NWS link sensors run three experiments (paper §2.2):
+
+* **latency** — a 4-byte round trip over an already-established connection;
+* **bandwidth** — a 64 KiB message timed on the destination acknowledgement;
+* **connect time** — the TCP connect/disconnect time.
+
+This module provides both *analytic* values (exact steady-state expectations
+from the flow model, useful as ground truth and for fast "offline" probing)
+and *simulated* probes expressed as generator processes over the
+:class:`~repro.netsim.flows.FlowModel` (used by the NWS runtime simulation,
+where probes genuinely contend with other traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..simkernel import Engine
+from .flows import FlowModel, TransferResult
+from .topology import Platform
+
+__all__ = [
+    "DEFAULT_LATENCY_PROBE_BYTES",
+    "DEFAULT_BANDWIDTH_PROBE_BYTES",
+    "ProbeOutcome",
+    "TcpModel",
+]
+
+#: NWS sends 4-byte messages for latency probes (paper §2.2).
+DEFAULT_LATENCY_PROBE_BYTES = 4
+#: NWS sends 64 KiB messages for bandwidth probes (paper §2.2).
+DEFAULT_BANDWIDTH_PROBE_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """Result of one TCP probe."""
+
+    src: str
+    dst: str
+    kind: str               # "latency" | "bandwidth" | "connect"
+    value: float            # seconds for latency/connect, Mbit/s for bandwidth
+    start_time: float
+    end_time: float
+
+
+class TcpModel:
+    """Analytic and simulated TCP experiments over a platform."""
+
+    def __init__(self, flow_model: FlowModel):
+        self.flow_model = flow_model
+        self.platform: Platform = flow_model.platform
+        self.engine: Engine = flow_model.engine
+
+    # -- analytic ground truth -------------------------------------------------
+    def rtt(self, a: str, b: str) -> float:
+        """Round-trip latency a→b→a (sums possibly asymmetric one-way paths)."""
+        return self.platform.route(a, b).latency + self.platform.route(b, a).latency
+
+    def connect_time(self, a: str, b: str) -> float:
+        """TCP three-way-handshake connection time ≈ 1.5 RTT."""
+        return 1.5 * self.rtt(a, b)
+
+    def analytic_latency(self, a: str, b: str,
+                         payload: int = DEFAULT_LATENCY_PROBE_BYTES) -> float:
+        """Expected small-message round-trip time (seconds), single flow."""
+        fwd_bw = self.flow_model.single_flow_mbps(a, b) * 1e6 / 8.0
+        rev_bw = self.flow_model.single_flow_mbps(b, a) * 1e6 / 8.0
+        return self.rtt(a, b) + payload / fwd_bw + payload / rev_bw
+
+    def analytic_bandwidth(self, a: str, b: str,
+                           size: int = DEFAULT_BANDWIDTH_PROBE_BYTES) -> float:
+        """Expected measured bandwidth (Mbit/s) of a lone ``size``-byte probe."""
+        rate_mbps = self.flow_model.single_flow_mbps(a, b)
+        latency = self.platform.route(a, b).latency
+        duration = latency + size * 8.0 / 1e6 / rate_mbps
+        return size * 8.0 / 1e6 / duration
+
+    # -- simulated probes (generator processes) ---------------------------------
+    def latency_probe(self, a: str, b: str,
+                      payload: int = DEFAULT_LATENCY_PROBE_BYTES
+                      ) -> Generator:
+        """Process measuring the small-message round-trip time a→b→a."""
+        start = self.engine.now
+        result: TransferResult = yield self.flow_model.transfer(
+            a, b, payload, label=f"latency:{a}->{b}")
+        result = yield self.flow_model.transfer(
+            b, a, payload, label=f"latency:{b}->{a}")
+        end = self.engine.now
+        return ProbeOutcome(src=a, dst=b, kind="latency", value=end - start,
+                            start_time=start, end_time=end)
+
+    def bandwidth_probe(self, a: str, b: str,
+                        size: int = DEFAULT_BANDWIDTH_PROBE_BYTES
+                        ) -> Generator:
+        """Process measuring throughput of one ``size``-byte message a→b."""
+        start = self.engine.now
+        result: TransferResult = yield self.flow_model.transfer(
+            a, b, size, label=f"bandwidth:{a}->{b}")
+        end = self.engine.now
+        duration = max(end - start, 1e-12)
+        mbps = size * 8.0 / 1e6 / duration
+        return ProbeOutcome(src=a, dst=b, kind="bandwidth", value=mbps,
+                            start_time=start, end_time=end)
+
+    def connect_probe(self, a: str, b: str) -> Generator:
+        """Process measuring TCP connect/disconnect time (modelled as 1.5 RTT)."""
+        start = self.engine.now
+        # SYN
+        yield self.flow_model.transfer(a, b, 1, label=f"connect:{a}->{b}")
+        # SYN/ACK
+        yield self.flow_model.transfer(b, a, 1, label=f"connect:{b}->{a}")
+        # ACK (half trip): model as a one-way latency wait.
+        yield self.engine.timeout(self.platform.route(a, b).latency)
+        end = self.engine.now
+        return ProbeOutcome(src=a, dst=b, kind="connect", value=end - start,
+                            start_time=start, end_time=end)
+
+    # -- convenient blocking helpers (run the engine) -----------------------------
+    def run_bandwidth_probe(self, a: str, b: str,
+                            size: int = DEFAULT_BANDWIDTH_PROBE_BYTES) -> ProbeOutcome:
+        """Run a bandwidth probe to completion on the model's engine."""
+        proc = self.engine.process(self.bandwidth_probe(a, b, size),
+                                   name=f"bwprobe:{a}->{b}")
+        return self.engine.run(until=proc)
+
+    def run_latency_probe(self, a: str, b: str,
+                          payload: int = DEFAULT_LATENCY_PROBE_BYTES) -> ProbeOutcome:
+        """Run a latency probe to completion on the model's engine."""
+        proc = self.engine.process(self.latency_probe(a, b, payload),
+                                   name=f"latprobe:{a}->{b}")
+        return self.engine.run(until=proc)

@@ -1,0 +1,119 @@
+"""Traceroute and ping simulation.
+
+ENV's structural phase has every host run a traceroute towards a well-known
+destination *outside* the mapped network and keeps the part of the path that
+lies within it (paper §4.2.1.3).  The simulation reproduces the quirks the
+paper discusses:
+
+* routers may report a *different address per interface* (which makes path
+  combination non-trivial, §3.2);
+* some routers silently *drop* traceroute probes and appear as anonymous hops
+  (§4.3 "Dropped traceroute");
+* hubs and switches are layer-2 devices and never appear in a traceroute;
+* unnamed hosts resolve to bare IP addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .address import IPv4Address
+from .topology import NodeKind, Platform
+
+__all__ = ["TracerouteHop", "TracerouteResult", "traceroute", "ping_rtt"]
+
+#: Marker used for routers that do not answer traceroute probes.
+ANONYMOUS_HOP = "*"
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One hop of a traceroute: the address the router reported (or ``*``)."""
+
+    address: str
+    node: Optional[str] = None      # ground-truth node name (None if anonymous)
+    responded: bool = True
+
+
+@dataclass
+class TracerouteResult:
+    """A full traceroute from ``src`` towards ``dst``."""
+
+    src: str
+    dst: str
+    hops: List[TracerouteHop] = field(default_factory=list)
+    reached: bool = True
+
+    def reported_addresses(self) -> List[str]:
+        """The address strings as a user of the tool would see them."""
+        return [hop.address for hop in self.hops]
+
+    def responding_addresses(self) -> List[str]:
+        """Addresses of hops that actually answered (anonymous hops skipped)."""
+        return [hop.address for hop in self.hops if hop.responded]
+
+
+def _router_reported_address(platform: Platform, router: str, next_node: str) -> str:
+    """The address a router reports for probes forwarded towards ``next_node``.
+
+    Routers answer with the address of the *incoming* interface in real life;
+    we model per-interface addresses through ``Node.interface_ips`` keyed by
+    the name of the neighbouring node (falling back to the primary address).
+    """
+    node = platform.nodes[router]
+    iface = node.interface_ips.get(next_node)
+    if iface is not None:
+        return str(iface)
+    if node.ip is not None:
+        return str(node.ip)
+    return router
+
+
+def traceroute(platform: Platform, src: str, dst: Optional[str] = None) -> TracerouteResult:
+    """Simulate ``traceroute`` from host ``src`` towards ``dst``.
+
+    ``dst=None`` targets the platform's external node (the "well known
+    external destination" of the ENV structural phase).  Only layer-3
+    elements (routers and the final host) appear as hops; switches and hubs
+    are invisible.
+    """
+    if dst is None:
+        if platform.external_node is None:
+            raise ValueError("platform has no external node; pass dst explicitly")
+        dst = platform.external_node
+    from .firewall import platform_allows
+
+    if not platform_allows(platform, src, dst):
+        return TracerouteResult(src=src, dst=dst, hops=[], reached=False)
+    route = platform.route(src, dst)
+    result = TracerouteResult(src=src, dst=dst)
+    nodes = route.nodes
+    for idx, name in enumerate(nodes[1:-1], start=1):
+        node = platform.nodes[name]
+        if node.kind in (NodeKind.SWITCH, NodeKind.HUB):
+            continue  # layer-2: invisible to TTL probing
+        if node.kind is NodeKind.ROUTER:
+            if not node.answers_traceroute:
+                result.hops.append(TracerouteHop(address=ANONYMOUS_HOP, node=name,
+                                                 responded=False))
+            else:
+                prev = nodes[idx - 1]
+                addr = _router_reported_address(platform, name, prev)
+                result.hops.append(TracerouteHop(address=addr, node=name))
+        elif node.kind is NodeKind.HOST:
+            # A host acting as a gateway (dual-homed machine).
+            addr = str(node.ip) if node.ip is not None else name
+            result.hops.append(TracerouteHop(address=addr, node=name))
+    # Final hop: the destination itself (unless external, which terminates the
+    # portion of the path within the mapped network).
+    dst_node = platform.nodes[dst]
+    if dst_node.kind is not NodeKind.EXTERNAL:
+        addr = str(dst_node.ip) if dst_node.ip is not None else dst
+        result.hops.append(TracerouteHop(address=addr, node=dst))
+    return result
+
+
+def ping_rtt(platform: Platform, src: str, dst: str) -> float:
+    """The ICMP round-trip time between two hosts (seconds)."""
+    return platform.route(src, dst).latency + platform.route(dst, src).latency

@@ -1,0 +1,77 @@
+"""VLAN: logical network views differing from the physical reality.
+
+Paper §3.1 explains why layer-2 (SNMP-style) mapping is insufficient on
+Grids: administrators commonly use VLANs to present a *logical* subnet layout
+that differs from the physical cabling (e.g. ENS-Lyon separates
+staff-administered machines from user-root laptops even when they share
+switches).  ENV side-steps the problem by only relying on end-to-end
+observations, but the simulator still models VLANs so that experiments can
+verify that the mapper's output is driven by *physical* sharing rather than
+by the logical addressing plan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .topology import Platform
+
+__all__ = ["VlanPlan"]
+
+
+class VlanPlan:
+    """Assignment of hosts to named VLANs (logical subnets)."""
+
+    def __init__(self) -> None:
+        self._vlan_of: Dict[str, str] = {}
+
+    def assign(self, host: str, vlan: str) -> None:
+        """Put ``host`` into ``vlan``."""
+        self._vlan_of[host] = vlan
+
+    def vlan_of(self, host: str) -> Optional[str]:
+        """The VLAN a host belongs to, or ``None`` if unassigned."""
+        return self._vlan_of.get(host)
+
+    def members(self, vlan: str) -> List[str]:
+        """Hosts assigned to ``vlan``, sorted."""
+        return sorted(h for h, v in self._vlan_of.items() if v == vlan)
+
+    def vlans(self) -> List[str]:
+        """All VLAN names in use, sorted."""
+        return sorted(set(self._vlan_of.values()))
+
+    def apply(self, platform: Platform) -> None:
+        """Record the assignment on the platform's host nodes."""
+        for host, vlan in self._vlan_of.items():
+            node = platform.nodes.get(host)
+            if node is not None:
+                node.vlan = vlan
+
+    def logical_groups(self, platform: Platform) -> Dict[str, Set[str]]:
+        """Hosts grouped by VLAN; unassigned hosts grouped under ``"default"``."""
+        groups: Dict[str, Set[str]] = {}
+        for node in platform.hosts():
+            vlan = self._vlan_of.get(node.name, node.vlan or "default")
+            groups.setdefault(vlan, set()).add(node.name)
+        return groups
+
+    def mismatches_physical(self, platform: Platform) -> List[str]:
+        """Hosts whose VLAN peers are *not* all on the same physical segment.
+
+        Returns hostnames for which the logical view would be a misleading
+        proxy of physical sharing — exactly the situation that motivates an
+        observation-based mapper such as ENV.
+        """
+        mismatched: List[str] = []
+        groups = self.logical_groups(platform)
+        for vlan, members in groups.items():
+            if vlan == "default" or len(members) < 2:
+                continue
+            members = sorted(members)
+            anchor = members[0]
+            anchor_neighbors = set(platform.graph.neighbors(anchor))
+            for host in members[1:]:
+                if not (anchor_neighbors & set(platform.graph.neighbors(host))):
+                    mismatched.append(host)
+        return mismatched

@@ -1,0 +1,41 @@
+"""Network Weather Service simulator: sensors, memories, forecasters, cliques."""
+
+from .api import NWSClient
+from .clique import CliqueRunner, CliqueStats
+from .config import NWSConfig
+from .experiments import (
+    METRIC_BANDWIDTH,
+    METRIC_CONNECT,
+    METRIC_LATENCY,
+    ExperimentResult,
+    LinkExperiment,
+)
+from .forecasting import (
+    ExponentialSmoothingForecaster,
+    Forecast,
+    Forecaster,
+    ForecasterBank,
+    LastValueForecaster,
+    RunningMeanForecaster,
+    SlidingWindowMeanForecaster,
+    SlidingWindowMedianForecaster,
+    default_forecasters,
+)
+from .memory import Measurement, MemoryServer, Series
+from .nameserver import NameServer, Registration
+from .sensor import Sensor
+from .system import NWSSystem, QueryAnswer
+
+__all__ = [
+    "NWSConfig",
+    "NameServer", "Registration",
+    "MemoryServer", "Series", "Measurement",
+    "Sensor",
+    "LinkExperiment", "ExperimentResult",
+    "METRIC_BANDWIDTH", "METRIC_LATENCY", "METRIC_CONNECT",
+    "CliqueRunner", "CliqueStats",
+    "Forecaster", "ForecasterBank", "Forecast", "default_forecasters",
+    "LastValueForecaster", "RunningMeanForecaster", "SlidingWindowMeanForecaster",
+    "SlidingWindowMedianForecaster", "ExponentialSmoothingForecaster",
+    "NWSSystem", "QueryAnswer", "NWSClient",
+]

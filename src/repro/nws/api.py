@@ -1,0 +1,70 @@
+"""Client-facing NWS query API (paper §2.1 steps 1–4).
+
+A client asks the forecaster about a host pair; the forecaster locates the
+memory server holding the series (via the name server), fetches the history,
+applies its statistical predictors and returns the prediction.  The
+:class:`NWSClient` wraps that interaction and exposes convenience helpers for
+the three link metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .experiments import METRIC_BANDWIDTH, METRIC_CONNECT, METRIC_LATENCY
+from .system import NWSSystem, QueryAnswer
+
+__all__ = ["NWSClient"]
+
+
+@dataclass
+class NWSClient:
+    """A client of a running (simulated) NWS deployment."""
+
+    system: NWSSystem
+
+    def bandwidth(self, src: str, dst: str) -> QueryAnswer:
+        """Forecast of the available bandwidth src → dst (Mbit/s)."""
+        return self.system.query(src, dst, METRIC_BANDWIDTH)
+
+    def latency(self, src: str, dst: str) -> QueryAnswer:
+        """Forecast of the small-message round-trip time (seconds)."""
+        return self.system.query(src, dst, METRIC_LATENCY)
+
+    def connect_time(self, src: str, dst: str) -> QueryAnswer:
+        """Forecast of the TCP connect/disconnect time (seconds)."""
+        return self.system.query(src, dst, METRIC_CONNECT)
+
+    def snapshot(self, hosts: Optional[List[str]] = None,
+                 metric: str = METRIC_BANDWIDTH) -> Dict[Tuple[str, str], float]:
+        """Forecast value for every ordered pair of ``hosts`` (answerable ones).
+
+        Useful to schedulers needing a full view of the platform; pairs with
+        no available answer are omitted.
+        """
+        hosts = hosts if hosts is not None else sorted(self.system.plan.hosts)
+        out: Dict[Tuple[str, str], float] = {}
+        for src in hosts:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                answer = self.system.query(src, dst, metric)
+                if answer.available:
+                    out[(src, dst)] = answer.forecast.value
+        return out
+
+    def availability(self, hosts: Optional[List[str]] = None,
+                     metric: str = METRIC_BANDWIDTH) -> float:
+        """Fraction of ordered pairs for which a forecast is available."""
+        hosts = hosts if hosts is not None else sorted(self.system.plan.hosts)
+        total = 0
+        answered = 0
+        for src in hosts:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                total += 1
+                if self.system.query(src, dst, metric).available:
+                    answered += 1
+        return answered / total if total else 1.0

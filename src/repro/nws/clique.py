@@ -1,0 +1,140 @@
+"""NWS measurement cliques: token-ring mutual exclusion (paper §2.3, [23]).
+
+Hosts of a clique take turns: the member holding the token runs its
+experiments towards every other member, then passes the token on.  Only one
+pair of the clique is therefore active at any time, which prevents
+experiments of the *same* clique from colliding.  The protocol also survives
+host failures: when the next member is down (or the token is lost), the ring
+skips it after a timeout and regenerates the token — the "leader election /
+error handling" mechanisms mentioned in the paper.
+
+Collisions *across* cliques are not prevented by anything: whether they occur
+is purely a property of the deployment plan, which is exactly what the
+paper's planning algorithm is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..simkernel import Engine, Interrupt, Tracer
+from .config import NWSConfig
+from .experiments import ExperimentResult, LinkExperiment
+from .memory import MemoryServer
+from .nameserver import NameServer
+from .sensor import Sensor
+
+__all__ = ["CliqueStats", "CliqueRunner"]
+
+
+@dataclass
+class CliqueStats:
+    """Protocol statistics of one clique."""
+
+    token_passes: int = 0
+    token_regenerations: int = 0
+    skipped_members: int = 0
+    experiments: int = 0
+    cycles: int = 0
+
+
+class CliqueRunner:
+    """Drives the token-ring measurement protocol of one clique."""
+
+    def __init__(self, name: str, members: List[str], engine: Engine,
+                 experiment: LinkExperiment, memory: MemoryServer,
+                 nameserver: NameServer, sensors: Dict[str, Sensor],
+                 config: Optional[NWSConfig] = None,
+                 tracer: Optional[Tracer] = None,
+                 period_s: float = 0.0):
+        if len(members) < 2:
+            raise ValueError("a clique needs at least two members")
+        self.name = name
+        self.members = list(members)
+        self.engine = engine
+        self.experiment = experiment
+        self.memory = memory
+        self.nameserver = nameserver
+        self.sensors = sensors
+        self.config = config if config is not None else NWSConfig()
+        self.tracer = tracer
+        self.period_s = period_s
+        self.stats = CliqueStats()
+        self.results: List[ExperimentResult] = []
+        self._process = None
+        self._stopped = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Start the clique protocol process on the engine."""
+        if self._process is None:
+            self._process = self.engine.process(self._run(), name=f"clique:{self.name}")
+
+    def stop(self) -> None:
+        """Interrupt the protocol."""
+        self._stopped = True
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("clique stopped")
+
+    # -- protocol ---------------------------------------------------------------
+    def _alive(self, host: str) -> bool:
+        sensor = self.sensors.get(host)
+        return sensor.alive if sensor is not None else True
+
+    def _run(self) -> Generator:
+        index = 0
+        try:
+            while not self._stopped:
+                holder = self.members[index % len(self.members)]
+                if not self._alive(holder):
+                    # Token cannot be delivered: after the dead-man timeout the
+                    # ring regenerates the token at the next live member.
+                    self.stats.skipped_members += 1
+                    self.stats.token_regenerations += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(self.engine.now, "nws.token_regenerated",
+                                         clique=self.name, skipped=holder)
+                    yield self.engine.timeout(self.config.token_timeout_s)
+                    index += 1
+                    continue
+                yield from self._holder_turn(holder)
+                self.stats.token_passes += 1
+                if (index + 1) % len(self.members) == 0:
+                    self.stats.cycles += 1
+                index += 1
+                gap = self.config.token_hold_gap_s
+                if self.period_s > 0:
+                    # Spread a full cycle over the requested period.
+                    gap = max(gap, self.period_s / len(self.members))
+                yield self.engine.timeout(gap)
+        except Interrupt:
+            return
+
+    def _holder_turn(self, holder: str) -> Generator:
+        """The token holder measures the links towards every other member."""
+        sensor = self.sensors.get(holder)
+        for peer in self.members:
+            if peer == holder or not self._alive(peer):
+                if peer != holder:
+                    self.stats.skipped_members += 1
+                continue
+            if sensor is not None:
+                sensor.record_start()
+            if self.tracer is not None:
+                self.tracer.emit(self.engine.now, "nws.experiment_start",
+                                 clique=self.name, src=holder, dst=peer)
+            result: ExperimentResult = yield from self.experiment.run(holder, peer)
+            self.stats.experiments += 1
+            self.results.append(result)
+            if sensor is not None:
+                sensor.record_completion(self.engine.now)
+            for measurement in result.measurements(clique=self.name):
+                self.memory.store(measurement)
+                self.nameserver.register_series(measurement.src, measurement.dst,
+                                                measurement.metric, self.memory.name)
+            if self.tracer is not None:
+                self.tracer.emit(self.engine.now, "nws.experiment_end",
+                                 clique=self.name, src=holder, dst=peer,
+                                 bandwidth_mbps=result.bandwidth_mbps,
+                                 latency_s=result.latency_s)

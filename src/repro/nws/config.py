@@ -1,0 +1,46 @@
+"""NWS runtime configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NWSConfig"]
+
+
+@dataclass(frozen=True)
+class NWSConfig:
+    """Tunable parameters of the simulated Network Weather Service.
+
+    Defaults follow the behaviours described in the paper and the NWS
+    literature: 64 KiB bandwidth probes, 4-byte latency probes, periodic
+    measurements even without client requests, token-ring cliques with a
+    dead-man timeout regenerating lost tokens.
+    """
+
+    #: Bytes sent by one bandwidth experiment (paper §2.2).
+    bandwidth_probe_bytes: int = 64 * 1024
+    #: Bytes of the latency round-trip probe (paper §2.2).
+    latency_probe_bytes: int = 4
+    #: Pause a token holder waits after finishing its experiments before
+    #: passing the token on (keeps the probe traffic bounded).
+    token_hold_gap_s: float = 1.0
+    #: Delay after which a clique member regenerates a token presumed lost.
+    token_timeout_s: float = 120.0
+    #: Maximum number of stored measurements per series (ring buffer).
+    memory_capacity: int = 512
+    #: Sliding window length used by the windowed forecasters.
+    forecast_window: int = 10
+    #: Smoothing factor of the adaptive exponential forecaster.
+    exponential_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_probe_bytes <= 0 or self.latency_probe_bytes <= 0:
+            raise ValueError("probe sizes must be positive")
+        if self.token_hold_gap_s < 0 or self.token_timeout_s <= 0:
+            raise ValueError("invalid token timing parameters")
+        if self.memory_capacity < 1:
+            raise ValueError("memory_capacity must be >= 1")
+        if self.forecast_window < 1:
+            raise ValueError("forecast_window must be >= 1")
+        if not 0 < self.exponential_alpha <= 1:
+            raise ValueError("exponential_alpha must be in (0, 1]")

@@ -1,0 +1,74 @@
+"""The three NWS link experiments (paper §2.2).
+
+* latency: a 4-byte round trip over an established connection,
+* bandwidth: one 64 KiB message timed on the destination acknowledgement,
+* connect: the TCP connect/disconnect time.
+
+The experiments are expressed as generator processes over the platform's
+:class:`~repro.netsim.tcp.TcpModel`, so while they run they genuinely consume
+simulated bandwidth — concurrent experiments on a shared medium therefore
+corrupt each other exactly as the paper warns (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from ..netsim.tcp import TcpModel
+from .config import NWSConfig
+from .memory import Measurement
+
+__all__ = ["ExperimentResult", "LinkExperiment"]
+
+#: Metric names used by the memory servers and the client API.
+METRIC_BANDWIDTH = "bandwidth_mbps"
+METRIC_LATENCY = "latency_s"
+METRIC_CONNECT = "connect_s"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one full experiment between an ordered host pair."""
+
+    src: str
+    dst: str
+    time: float
+    bandwidth_mbps: float
+    latency_s: float
+    connect_s: float
+
+    def measurements(self, clique: str = "") -> List[Measurement]:
+        """The individual metric samples to be shipped to a memory server."""
+        return [
+            Measurement(time=self.time, value=self.bandwidth_mbps, src=self.src,
+                        dst=self.dst, metric=METRIC_BANDWIDTH, clique=clique),
+            Measurement(time=self.time, value=self.latency_s, src=self.src,
+                        dst=self.dst, metric=METRIC_LATENCY, clique=clique),
+            Measurement(time=self.time, value=self.connect_s, src=self.src,
+                        dst=self.dst, metric=METRIC_CONNECT, clique=clique),
+        ]
+
+
+class LinkExperiment:
+    """Runs the NWS experiment battery between ordered host pairs."""
+
+    def __init__(self, tcp: TcpModel, config: Optional[NWSConfig] = None):
+        self.tcp = tcp
+        self.config = config if config is not None else NWSConfig()
+        self.run_count = 0
+
+    def run(self, src: str, dst: str) -> Generator:
+        """Process measuring connect time, latency and bandwidth src → dst."""
+        connect = yield from self.tcp.connect_probe(src, dst)
+        latency = yield from self.tcp.latency_probe(
+            src, dst, payload=self.config.latency_probe_bytes)
+        bandwidth = yield from self.tcp.bandwidth_probe(
+            src, dst, size=self.config.bandwidth_probe_bytes)
+        self.run_count += 1
+        return ExperimentResult(
+            src=src, dst=dst, time=self.tcp.engine.now,
+            bandwidth_mbps=bandwidth.value,
+            latency_s=latency.value,
+            connect_s=connect.value,
+        )

@@ -1,0 +1,239 @@
+"""NWS statistical forecasters (paper §2.1, step 4).
+
+The real NWS maintains a battery of simple predictors (last value, running
+mean, sliding-window means and medians, exponential smoothing, ...) and, for
+every query, answers with the predictor that has accumulated the lowest
+error on the series so far ("mixture-of-experts" selection).  This module
+reproduces that design: each :class:`Forecaster` is a small online predictor,
+and :class:`ForecasterBank` tracks the mean absolute error (MAE) of every
+predictor on each series and answers with the current best.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Forecaster",
+    "LastValueForecaster",
+    "RunningMeanForecaster",
+    "SlidingWindowMeanForecaster",
+    "SlidingWindowMedianForecaster",
+    "ExponentialSmoothingForecaster",
+    "Forecast",
+    "ForecasterBank",
+    "default_forecasters",
+]
+
+
+class Forecaster(ABC):
+    """An online one-step-ahead predictor."""
+
+    name: str = "forecaster"
+
+    @abstractmethod
+    def update(self, value: float) -> None:
+        """Feed one observed value."""
+
+    @abstractmethod
+    def predict(self) -> Optional[float]:
+        """Predict the next value (``None`` until enough data is available)."""
+
+    def reset(self) -> None:
+        """Forget all state (default: rebuild via __init__ arguments)."""
+        raise NotImplementedError
+
+
+class LastValueForecaster(Forecaster):
+    """Predicts that the next value equals the last observed one."""
+
+    name = "last_value"
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        self._last = value
+
+    def predict(self) -> Optional[float]:
+        return self._last
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class RunningMeanForecaster(Forecaster):
+    """Predicts the mean of all observed values."""
+
+    name = "running_mean"
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def update(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+
+    def predict(self) -> Optional[float]:
+        if self._count == 0:
+            return None
+        return self._sum / self._count
+
+    def reset(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+
+class SlidingWindowMeanForecaster(Forecaster):
+    """Predicts the mean of the last ``window`` values."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.name = f"window_mean_{window}"
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._values.append(value)
+
+    def predict(self) -> Optional[float]:
+        if not self._values:
+            return None
+        return float(np.mean(self._values))
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class SlidingWindowMedianForecaster(Forecaster):
+    """Predicts the median of the last ``window`` values (robust to spikes)."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.name = f"window_median_{window}"
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._values.append(value)
+
+    def predict(self) -> Optional[float]:
+        if not self._values:
+            return None
+        return float(np.median(self._values))
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class ExponentialSmoothingForecaster(Forecaster):
+    """Exponentially-weighted moving average predictor."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.name = f"exp_smooth_{alpha:g}"
+        self._state: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        if self._state is None:
+            self._state = value
+        else:
+            self._state = self.alpha * value + (1 - self.alpha) * self._state
+
+    def predict(self) -> Optional[float]:
+        return self._state
+
+    def reset(self) -> None:
+        self._state = None
+
+
+def default_forecasters(window: int = 10, alpha: float = 0.3) -> List[Forecaster]:
+    """The standard NWS-like predictor battery."""
+    return [
+        LastValueForecaster(),
+        RunningMeanForecaster(),
+        SlidingWindowMeanForecaster(window),
+        SlidingWindowMedianForecaster(window),
+        ExponentialSmoothingForecaster(alpha),
+    ]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A prediction together with its provenance."""
+
+    value: float
+    method: str
+    mae: float
+    sample_count: int
+
+
+class ForecasterBank:
+    """Mixture-of-experts forecaster for one measurement series."""
+
+    def __init__(self, forecasters: Optional[Sequence[Forecaster]] = None,
+                 window: int = 10, alpha: float = 0.3):
+        self.forecasters = list(forecasters) if forecasters is not None else (
+            default_forecasters(window=window, alpha=alpha))
+        self._abs_error: Dict[str, float] = {f.name: 0.0 for f in self.forecasters}
+        self._error_count: Dict[str, int] = {f.name: 0 for f in self.forecasters}
+        self.sample_count = 0
+
+    def update(self, value: float) -> None:
+        """Feed one observation: score each predictor, then let it learn."""
+        for forecaster in self.forecasters:
+            prediction = forecaster.predict()
+            if prediction is not None:
+                self._abs_error[forecaster.name] += abs(prediction - value)
+                self._error_count[forecaster.name] += 1
+            forecaster.update(value)
+        self.sample_count += 1
+
+    def update_many(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    def mae(self, name: str) -> float:
+        count = self._error_count.get(name, 0)
+        if count == 0:
+            return float("inf")
+        return self._abs_error[name] / count
+
+    def best_method(self) -> Optional[str]:
+        """The predictor with the lowest MAE so far (ties: first declared)."""
+        best_name: Optional[str] = None
+        best_mae = float("inf")
+        for forecaster in self.forecasters:
+            mae = self.mae(forecaster.name)
+            if mae < best_mae:
+                best_mae = mae
+                best_name = forecaster.name
+        if best_name is None and self.sample_count > 0:
+            best_name = self.forecasters[0].name
+        return best_name
+
+    def forecast(self) -> Optional[Forecast]:
+        """Predict the next value using the best predictor so far."""
+        if self.sample_count == 0:
+            return None
+        name = self.best_method()
+        if name is None:
+            return None
+        forecaster = next(f for f in self.forecasters if f.name == name)
+        prediction = forecaster.predict()
+        if prediction is None:
+            return None
+        mae = self.mae(name)
+        return Forecast(value=prediction, method=name,
+                        mae=0.0 if mae == float("inf") else mae,
+                        sample_count=self.sample_count)

@@ -1,0 +1,88 @@
+"""NWS memory servers: persistent storage of measurement series (paper §2.1).
+
+Measurements taken by the sensors are shipped to a memory server and stored
+as bounded time series, one per (source, destination, metric).  The
+forecaster later fetches the history of a series to predict its next value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["Measurement", "Series", "MemoryServer"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measurement sample."""
+
+    time: float
+    value: float
+    src: str
+    dst: str
+    metric: str        # "bandwidth_mbps" | "latency_s" | "connect_s"
+    clique: str = ""
+
+
+class Series:
+    """A bounded time series of measurements for one (src, dst, metric)."""
+
+    def __init__(self, src: str, dst: str, metric: str, capacity: int = 512):
+        self.src = src
+        self.dst = dst
+        self.metric = metric
+        self.capacity = capacity
+        self._samples: Deque[Measurement] = deque(maxlen=capacity)
+
+    def append(self, measurement: Measurement) -> None:
+        self._samples.append(measurement)
+
+    def values(self) -> List[float]:
+        return [m.value for m in self._samples]
+
+    def timestamps(self) -> List[float]:
+        return [m.time for m in self._samples]
+
+    def last(self) -> Optional[Measurement]:
+        return self._samples[-1] if self._samples else None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+
+class MemoryServer:
+    """Stores the series of the cliques assigned to it."""
+
+    def __init__(self, name: str, host: str, capacity: int = 512):
+        self.name = name
+        self.host = host
+        self.capacity = capacity
+        self._series: Dict[Tuple[str, str, str], Series] = {}
+        self.stored_count = 0
+        self.fetch_count = 0
+
+    def store(self, measurement: Measurement) -> None:
+        """Append a measurement to the right series (creating it if needed)."""
+        key = (measurement.src, measurement.dst, measurement.metric)
+        series = self._series.get(key)
+        if series is None:
+            series = Series(*key, capacity=self.capacity)
+            self._series[key] = series
+        series.append(measurement)
+        self.stored_count += 1
+
+    def fetch(self, src: str, dst: str, metric: str) -> Optional[Series]:
+        """The full series for (src, dst, metric), or ``None``."""
+        self.fetch_count += 1
+        return self._series.get((src, dst, metric))
+
+    def series_keys(self) -> List[Tuple[str, str, str]]:
+        return sorted(self._series.keys())
+
+    def __len__(self) -> int:
+        return len(self._series)

@@ -1,0 +1,73 @@
+"""NWS name server: the directory of the monitoring system (paper §2.1).
+
+Every NWS process registers itself here; clients (and the forecaster) ask the
+name server which memory server stores the series of a given host pair and
+metric.  The simulation keeps the directory as an in-process object — what
+matters for the paper's experiments is the *organisation* of measurements,
+not the directory lookup traffic — but lookup counts are tracked so the
+control-plane load can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Registration", "NameServer"]
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One registered NWS process."""
+
+    name: str
+    kind: str          # "sensor" | "memory" | "forecaster" | "nameserver"
+    host: str
+    metadata: Tuple[Tuple[str, str], ...] = ()
+
+
+class NameServer:
+    """Directory of NWS processes and of measurement series locations."""
+
+    def __init__(self, host: str):
+        self.host = host
+        self._registrations: Dict[str, Registration] = {}
+        #: (src, dst, metric) → memory-server name
+        self._series_index: Dict[Tuple[str, str, str], str] = {}
+        self.lookup_count = 0
+        self.registration_count = 0
+
+    # -- registration -----------------------------------------------------------
+    def register(self, registration: Registration) -> None:
+        """Register (or refresh) a process."""
+        self._registrations[registration.name] = registration
+        self.registration_count += 1
+
+    def register_series(self, src: str, dst: str, metric: str,
+                        memory_name: str) -> None:
+        """Record that ``memory_name`` stores the series of (src, dst, metric)."""
+        self._series_index[(src, dst, metric)] = memory_name
+
+    def unregister(self, name: str) -> None:
+        self._registrations.pop(name, None)
+
+    # -- lookups --------------------------------------------------------------------
+    def lookup(self, name: str) -> Optional[Registration]:
+        self.lookup_count += 1
+        return self._registrations.get(name)
+
+    def processes_of_kind(self, kind: str) -> List[Registration]:
+        self.lookup_count += 1
+        return sorted((r for r in self._registrations.values() if r.kind == kind),
+                      key=lambda r: r.name)
+
+    def memory_for_series(self, src: str, dst: str, metric: str) -> Optional[str]:
+        """Which memory server holds the series for (src, dst, metric)."""
+        self.lookup_count += 1
+        return self._series_index.get((src, dst, metric))
+
+    def known_series(self) -> List[Tuple[str, str, str]]:
+        return sorted(self._series_index.keys())
+
+    def __len__(self) -> int:
+        return len(self._registrations)

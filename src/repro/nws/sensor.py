@@ -1,0 +1,46 @@
+"""NWS sensors.
+
+A sensor runs on every monitored host; in the real system it is the process
+that conducts the experiments when its host holds a clique token.  In the
+simulation the clique protocol (:mod:`repro.nws.clique`) drives the
+experiments, and the :class:`Sensor` keeps the per-host state the rest of the
+system cares about: which cliques it belongs to, whether the host is up, and
+how many experiments it initiated (used for the intrusiveness accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+__all__ = ["Sensor"]
+
+
+@dataclass
+class Sensor:
+    """Per-host sensor state."""
+
+    host: str
+    cliques: Set[str] = field(default_factory=set)
+    alive: bool = True
+    experiments_started: int = 0
+    experiments_completed: int = 0
+    last_experiment_time: float = -1.0
+
+    def join_clique(self, clique_name: str) -> None:
+        self.cliques.add(clique_name)
+
+    def record_start(self) -> None:
+        self.experiments_started += 1
+
+    def record_completion(self, time: float) -> None:
+        self.experiments_completed += 1
+        self.last_experiment_time = time
+
+    def fail(self) -> None:
+        """Mark the host as down (failure injection)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the host back up."""
+        self.alive = True

@@ -1,0 +1,113 @@
+"""Shared resources for simulation processes.
+
+Two primitives are provided:
+
+* :class:`Resource` — a counted resource with a FIFO wait queue (used e.g. to
+  serialise access to a host's measurement socket).
+* :class:`Store` — an unbounded FIFO message store supporting blocking ``get``
+  (used as the mailbox of simulated NWS daemons and for token passing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, TYPE_CHECKING
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+__all__ = ["Resource", "Request", "Store"]
+
+
+class Request(Event):
+    """The event returned by :meth:`Resource.request`.
+
+    Fires once the resource slot is granted.  Must be released with
+    :meth:`Resource.release` (or used via the ``with``-like yield pattern in
+    process code).
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.engine)
+        self.resource = resource
+
+
+class Resource:
+    """A resource with ``capacity`` slots and FIFO granting."""
+
+    def __init__(self, engine: "Engine", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently granted."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when the slot is granted."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(req)
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Give back a previously granted slot and wake the next waiter."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing a never-granted or already-released request is benign:
+            # drop it from the wait queue if it is still there.
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+            return
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """An unbounded FIFO store of Python objects with blocking ``get``."""
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest pending getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        ev = Event(self.engine)
+        if self.items:
+            ev.succeed(self.items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: return an item or ``None`` if the store is empty."""
+        if self.items:
+            return self.items.popleft()
+        return None

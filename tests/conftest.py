@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+The ENS-Lyon platform, its ENV views and the derived deployment plan are
+expensive enough to be worth sharing across the test session; they are all
+deterministic, and tests never mutate them (tests that need to mutate build
+their own instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import plan_from_view
+from repro.env import map_ens_lyon, map_platform
+from repro.netsim import PRIVATE_HOSTS, PUBLIC_HOSTS, build_ens_lyon
+
+
+@pytest.fixture(scope="session")
+def ens_lyon():
+    """The ENS-Lyon platform of Figure 1(a) (firewalled, asymmetric routes)."""
+    return build_ens_lyon()
+
+
+@pytest.fixture(scope="session")
+def public_view(ens_lyon):
+    """ENV view of the public side, master the-doors."""
+    return map_platform(ens_lyon, "the-doors", hosts=PUBLIC_HOSTS)
+
+
+@pytest.fixture(scope="session")
+def private_view(ens_lyon):
+    """ENV view of the popc.private side, master popc0."""
+    return map_platform(ens_lyon, "popc0", hosts=PRIVATE_HOSTS)
+
+
+@pytest.fixture(scope="session")
+def merged_view(ens_lyon):
+    """The merged effective view of Figure 1(b)."""
+    return map_ens_lyon(ens_lyon)
+
+
+@pytest.fixture(scope="session")
+def ens_plan(merged_view):
+    """The NWS deployment plan of Figure 3."""
+    return plan_from_view(merged_view)

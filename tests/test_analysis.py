@@ -1,0 +1,114 @@
+"""Tests of the analysis helpers: cost model, scoring, reports, frequency."""
+
+import pytest
+
+from repro.analysis import (
+    compare_costs,
+    env_mapping_seconds,
+    frequency_vs_clique_size,
+    measurement_intervals,
+    naive_mapping_experiments,
+    naive_mapping_seconds,
+    render_env_tree,
+    render_plan,
+    render_structural_tree,
+    render_table,
+    score_view,
+)
+from repro.core import plan_from_view
+from repro.env import AnalyticProbeDriver, ProbeStats, build_structural_tree
+from repro.netsim import PUBLIC_HOSTS, expected_effective_groups
+from repro.nws import NWSConfig, NWSSystem
+
+
+class TestCostModel:
+    def test_paper_headline_number(self):
+        """§4.3: exhaustive mapping of 20 hosts ≈ 50 days at 30 s per test."""
+        days = naive_mapping_seconds(20) / 86_400.0
+        assert days == pytest.approx(50.0, rel=0.01)
+
+    def test_experiment_count_formula(self):
+        # 20 hosts -> 380 links -> 380 + 380*379 experiments
+        assert naive_mapping_experiments(20) == 380 + 380 * 379
+        assert naive_mapping_experiments(1) == 0
+
+    def test_env_cost_far_below_naive(self, merged_view):
+        comparison = compare_costs(14, merged_view.stats)
+        assert comparison.env_days < comparison.naive_days / 100
+        assert comparison.speedup > 100
+        row = comparison.as_row()
+        assert row["hosts"] == 14
+
+    def test_env_mapping_seconds_scales_with_measurements(self):
+        stats = ProbeStats(measurements=10)
+        assert env_mapping_seconds(stats, seconds_per_experiment=30) == 300
+
+
+class TestScoring:
+    def test_perfect_view_scores_one(self, merged_view):
+        score = score_view(merged_view, expected_effective_groups(),
+                           ignore_hosts={"the-doors"})
+        assert score.mean_jaccard == pytest.approx(1.0)
+        assert score.kind_accuracy == pytest.approx(1.0)
+        assert score.perfect
+
+    def test_missing_group_scores_zero(self, merged_view):
+        truth = dict(expected_effective_groups())
+        truth["ghost"] = {"hosts": {"nonexistent1", "nonexistent2"},
+                          "kind": "shared"}
+        score = score_view(merged_view, truth, ignore_hosts={"the-doors"})
+        assert not score.perfect
+        ghost = next(g for g in score.groups if g.name == "ghost")
+        assert ghost.jaccard == 0.0
+
+    def test_as_row_shape(self, merged_view):
+        row = score_view(merged_view, expected_effective_groups()).as_row()
+        assert set(row) == {"groups", "mean_jaccard", "kind_accuracy", "perfect"}
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table([{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(no data)"
+
+    def test_render_env_tree_contains_hosts(self, merged_view):
+        text = render_env_tree(merged_view.root)
+        assert "sci1" in text and "[shared]" in text and "[switched]" in text
+
+    def test_render_structural_tree(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        tree = build_structural_tree(driver, PUBLIC_HOSTS, master="the-doors")
+        text = render_structural_tree(tree)
+        assert "192.168.254.1" in text and "- canaria" in text
+
+    def test_render_plan(self, ens_plan):
+        text = render_plan(ens_plan)
+        assert "cliques" in text and "canaria" in text
+
+
+class TestFrequencyAnalysis:
+    @pytest.fixture(scope="class")
+    def short_run(self, ens_lyon, merged_view):
+        plan = plan_from_view(merged_view, period_s=10.0)
+        system = NWSSystem(ens_lyon, plan, config=NWSConfig(token_hold_gap_s=1.0))
+        system.run(150.0)
+        return system
+
+    def test_intervals_collected_per_pair(self, short_run):
+        intervals = measurement_intervals(short_run)
+        assert intervals
+        assert all(p.samples >= 1 for p in intervals)
+
+    def test_larger_cliques_measure_less_often(self, short_run):
+        rows = frequency_vs_clique_size(short_run)
+        by_size = {row["size"]: row for row in rows}
+        small = min(by_size)
+        large = max(by_size)
+        assert large > small
+        assert float(by_size[large]["mean_interval_s"]) > \
+            float(by_size[small]["mean_interval_s"])

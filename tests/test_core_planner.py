@@ -1,0 +1,184 @@
+"""Tests of the deployment plan model, the ENV planner and the NWS manager."""
+
+import pytest
+
+from repro.core import (
+    Clique,
+    DeploymentPlan,
+    build_host_configs,
+    host_pair,
+    parse_config,
+    plan_from_view,
+    render_config,
+)
+from repro.env import map_platform
+from repro.netsim import generate_single_site
+
+
+class TestCliqueAndPlan:
+    def test_clique_requires_two_hosts(self):
+        with pytest.raises(ValueError):
+            Clique(name="x", hosts=("a",))
+
+    def test_clique_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Clique(name="x", hosts=("a", "a"))
+
+    def test_pair_enumeration(self):
+        clique = Clique(name="x", hosts=("a", "b", "c"))
+        assert len(clique.unordered_pairs()) == 3
+        assert len(clique.ordered_pairs()) == 6
+        assert "a" in clique and "z" not in clique
+
+    def test_host_pair_requires_distinct(self):
+        with pytest.raises(ValueError):
+            host_pair("a", "a")
+
+    def test_plan_queries(self):
+        plan = DeploymentPlan(hosts=["a", "b", "c", "d"])
+        plan.cliques.append(Clique(name="c1", hosts=("a", "b")))
+        plan.cliques.append(Clique(name="c2", hosts=("b", "c")))
+        plan.representatives[host_pair("a", "c")] = host_pair("a", "b")
+        assert plan.clique("c1").hosts == ("a", "b")
+        assert [c.name for c in plan.cliques_of("b")] == ["c1", "c2"]
+        assert plan.monitored_hosts() == {"a", "b", "c"}
+        assert plan.pair_source("a", "b") == host_pair("a", "b")
+        assert plan.pair_source("a", "c") == host_pair("a", "b")
+        assert plan.pair_source("a", "d") is None
+        assert plan.largest_clique_size() == 2
+
+    def test_structure_validation_catches_unknown_hosts(self):
+        plan = DeploymentPlan(hosts=["a", "b"])
+        plan.cliques.append(Clique(name="c1", hosts=("a", "z")))
+        assert any("unknown hosts" in p for p in plan.validate_structure())
+
+    def test_structure_validation_catches_dangling_representative(self):
+        plan = DeploymentPlan(hosts=["a", "b", "c"])
+        plan.cliques.append(Clique(name="c1", hosts=("a", "b")))
+        plan.representatives[host_pair("a", "c")] = host_pair("b", "c")
+        assert any("not itself measured" in p for p in plan.validate_structure())
+
+    def test_missing_clique_raises(self):
+        with pytest.raises(KeyError):
+            DeploymentPlan(hosts=[]).clique("nope")
+
+
+class TestEnvPlannerOnEnsLyon:
+    """The plan of Figure 3, clique by clique."""
+
+    def clique_host_sets(self, plan):
+        return {frozenset(c.hosts) for c in plan.cliques}
+
+    def test_five_cliques(self, ens_plan):
+        assert len(ens_plan.cliques) == 5
+
+    def test_hub1_pair_is_canaria_moby(self, ens_plan):
+        assert frozenset(("canaria", "moby")) in self.clique_host_sets(ens_plan)
+
+    def test_hub2_pair_is_myri0_popc0(self, ens_plan):
+        assert frozenset(("myri0", "popc0")) in self.clique_host_sets(ens_plan)
+
+    def test_myri_cluster_pair_is_myri1_myri2(self, ens_plan):
+        assert frozenset(("myri1", "myri2")) in self.clique_host_sets(ens_plan)
+
+    def test_sci_clique_contains_all_sci_hosts_and_gateway(self, ens_plan):
+        expected = frozenset({"sci0", "sci1", "sci2", "sci3", "sci4", "sci5", "sci6"})
+        assert expected in self.clique_host_sets(ens_plan)
+
+    def test_inter_hub_clique_is_canaria_popc0(self, ens_plan):
+        inter = [c for c in ens_plan.cliques if c.kind == "inter"]
+        assert len(inter) == 1
+        assert set(inter[0].hosts) == {"canaria", "popc0"}
+
+    def test_shared_cliques_have_two_hosts(self, ens_plan):
+        for clique in ens_plan.cliques:
+            if clique.kind == "shared":
+                assert clique.size == 2
+
+    def test_representatives_cover_shared_pairs(self, ens_plan):
+        # any pair on hub2 must map to the measured (myri0, popc0) pair
+        assert ens_plan.pair_source("sci0", "popc0") == host_pair("myri0", "popc0")
+        assert ens_plan.pair_source("the-doors", "moby") == host_pair("canaria", "moby")
+        # the gateway of a shared cluster is covered too
+        assert ens_plan.pair_source("myri0", "myri1") == host_pair("myri1", "myri2")
+
+    def test_nameserver_is_the_master(self, ens_plan):
+        assert ens_plan.nameserver_host == "the-doors"
+
+    def test_plan_is_internally_consistent(self, ens_plan):
+        assert ens_plan.validate_structure() == []
+
+    def test_gateways_not_chosen_as_shared_representatives(self, ens_plan):
+        hub2 = next(c for c in ens_plan.cliques
+                    if frozenset(c.hosts) == frozenset(("myri0", "popc0")))
+        # popc0 (the only non-gateway of hub2) must be part of the pair
+        assert "popc0" in hub2.hosts
+
+
+class TestPlannerOnSyntheticPlatforms:
+    def test_switched_network_gets_full_clique(self):
+        platform = generate_single_site(n_hub_clusters=0, n_switch_clusters=1,
+                                        hosts_per_cluster=5)
+        master = platform.host_names()[0]
+        view = map_platform(platform, master)
+        plan = plan_from_view(view)
+        switched = [c for c in plan.cliques if c.kind == "switched"]
+        assert switched and switched[0].size >= 4
+
+    def test_shared_network_gets_pair_clique(self):
+        platform = generate_single_site(n_hub_clusters=1, n_switch_clusters=0,
+                                        hosts_per_cluster=5)
+        master = platform.host_names()[0]
+        view = map_platform(platform, master)
+        plan = plan_from_view(view)
+        shared = [c for c in plan.cliques if c.kind == "shared"]
+        assert shared and all(c.size == 2 for c in shared)
+
+    def test_multi_cluster_site_gets_inter_clique(self):
+        platform = generate_single_site(n_hub_clusters=1, n_switch_clusters=1,
+                                        hosts_per_cluster=3)
+        master = platform.host_names()[0]
+        view = map_platform(platform, master)
+        plan = plan_from_view(view)
+        kinds = {c.kind for c in plan.cliques}
+        assert "inter" in kinds or len(plan.cliques) >= 2
+
+    def test_period_propagates_to_cliques(self, merged_view):
+        plan = plan_from_view(merged_view, period_s=42.0)
+        assert all(c.period_s == 42.0 for c in plan.cliques)
+
+
+class TestManager:
+    def test_host_configs_roles(self, ens_plan):
+        configs = build_host_configs(ens_plan)
+        ns = configs["the-doors"]
+        assert "nameserver" in ns.kinds() and "forecaster" in ns.kinds()
+        # every monitored host runs a sensor
+        for host in ens_plan.monitored_hosts():
+            assert "sensor" in configs[host].kinds()
+        # one memory server per clique
+        memory_count = sum(cfg.kinds().count("memory") for cfg in configs.values())
+        assert memory_count == len(ens_plan.cliques)
+
+    def test_sensor_options_list_cliques(self, ens_plan):
+        configs = build_host_configs(ens_plan)
+        sensor = next(p for p in configs["canaria"].processes if p.kind == "sensor")
+        assert "clique-canaria" in sensor.options["cliques"]
+
+    def test_command_lines_render(self, ens_plan):
+        configs = build_host_configs(ens_plan)
+        line = configs["the-doors"].processes[0].command_line()
+        assert line.startswith("nws_")
+
+    def test_config_file_roundtrip(self, ens_plan):
+        text = render_config(ens_plan)
+        parsed = parse_config(text)
+        assert parsed.nameserver_host == ens_plan.nameserver_host
+        assert {frozenset(c.hosts) for c in parsed.cliques} == \
+            {frozenset(c.hosts) for c in ens_plan.cliques}
+        assert parsed.representatives == ens_plan.representatives
+
+    def test_memory_placement_override(self, ens_plan):
+        configs = build_host_configs(ens_plan, memory_hosts=["the-doors"])
+        kinds = configs["the-doors"].kinds()
+        assert kinds.count("memory") == len(ens_plan.cliques)

@@ -1,0 +1,169 @@
+"""Tests of constraints checking, aggregation and plan quality metrics."""
+
+import pytest
+
+from repro.core import (
+    Aggregator,
+    check_completeness,
+    check_constraints,
+    compare_plans,
+    coverage_graph,
+    evaluate_plan,
+    find_collisions,
+    global_clique_plan,
+    ground_truth_store,
+    harmful_collisions,
+    independent_pairs_plan,
+    measurement_periods,
+    plan_from_view,
+    random_partition_plan,
+    subnet_plan,
+    Clique,
+    DeploymentPlan,
+    host_pair,
+)
+from repro.netsim import FlowModel, build_ens_lyon
+from repro.simkernel import Engine
+
+
+class TestCollisions:
+    def test_independent_pairs_collide_on_shared_media(self, ens_lyon):
+        plan = independent_pairs_plan(ens_lyon, ["myri0", "myri1", "myri2"])
+        collisions = find_collisions(plan, ens_lyon)
+        assert collisions, "three pairs on one hub must collide"
+
+    def test_single_clique_never_collides(self, ens_lyon):
+        plan = global_clique_plan(ens_lyon)
+        assert find_collisions(plan, ens_lyon) == []
+
+    def test_env_plan_has_no_harmful_collisions(self, ens_lyon, ens_plan):
+        assert harmful_collisions(ens_plan, ens_lyon) == 0
+
+    def test_independent_pairs_have_harmful_collisions(self, ens_lyon):
+        plan = independent_pairs_plan(ens_lyon, ["myri0", "myri1", "myri2", "popc0"])
+        assert harmful_collisions(plan, ens_lyon) > 0
+
+    def test_collision_report_names_shared_elements(self, ens_lyon):
+        plan = independent_pairs_plan(ens_lyon, ["myri1", "myri2", "myri0"])
+        report = find_collisions(plan, ens_lyon)[0]
+        assert report.shared_elements
+        assert report.clique_a != report.clique_b
+
+
+class TestCompletenessAndAggregation:
+    def test_env_plan_is_complete(self, ens_plan):
+        unreachable, uncovered = check_completeness(ens_plan)
+        assert unreachable == []
+        # the master runs no sensor in the paper's plan: it may be uncovered
+        assert set(uncovered) <= {"the-doors"}
+
+    def test_random_plan_is_incomplete(self, ens_lyon):
+        plan = random_partition_plan(ens_lyon, clique_size=3, seed=1)
+        unreachable, _ = check_completeness(plan)
+        assert unreachable
+
+    def test_coverage_graph_marks_direct_and_representative(self, ens_plan):
+        graph = coverage_graph(ens_plan)
+        assert graph.edges["canaria", "moby"]["direct"] is True
+        assert graph.edges["the-doors", "canaria"]["direct"] is False
+
+    def test_aggregated_latency_is_sum_and_bandwidth_is_min(self, ens_lyon, ens_plan):
+        aggregator = Aggregator(ens_plan, ground_truth_store(ens_lyon))
+        estimate = aggregator.estimate("moby", "sci3")
+        assert estimate is not None
+        assert estimate.method == "aggregated"
+        # the 10 Mbit/s bottleneck dominates the composed bandwidth
+        assert estimate.bandwidth_mbps == pytest.approx(10.0, rel=0.05)
+        # path latency is at least the direct route latency
+        direct = ens_lyon.route("moby", "sci3").latency
+        assert estimate.latency_s >= direct * 0.9
+
+    def test_direct_pair_estimate_matches_ground_truth(self, ens_lyon, ens_plan):
+        aggregator = Aggregator(ens_plan, ground_truth_store(ens_lyon))
+        estimate = aggregator.estimate("sci1", "sci2")
+        fm = FlowModel(Engine(), ens_lyon)
+        assert estimate.method == "direct"
+        assert estimate.bandwidth_mbps == pytest.approx(
+            fm.single_flow_mbps("sci1", "sci2"))
+
+    def test_same_host_estimate(self, ens_lyon, ens_plan):
+        aggregator = Aggregator(ens_plan, ground_truth_store(ens_lyon))
+        estimate = aggregator.estimate("moby", "moby")
+        assert estimate.latency_s == 0.0
+
+    def test_estimate_none_when_disconnected(self, ens_lyon):
+        plan = DeploymentPlan(hosts=["moby", "canaria", "sci1"])
+        plan.cliques.append(Clique(name="c", hosts=("moby", "canaria")))
+        aggregator = Aggregator(plan, ground_truth_store(ens_lyon))
+        assert aggregator.estimate("moby", "sci1") is None
+
+    def test_estimate_all_pairs_covers_everything(self, ens_lyon, ens_plan):
+        aggregator = Aggregator(ens_plan, ground_truth_store(ens_lyon))
+        estimates = aggregator.estimate_all_pairs()
+        n = len(ens_plan.hosts)
+        assert len(estimates) == n * (n - 1) // 2
+
+
+class TestQualityMetrics:
+    def test_measurement_period_grows_quadratically(self):
+        plan = DeploymentPlan(hosts=list("abcdefgh"))
+        plan.cliques.append(Clique(name="small", hosts=("a", "b")))
+        plan.cliques.append(Clique(name="large", hosts=tuple("abcdefgh")))
+        periods = measurement_periods(plan, experiment_seconds=1.0)
+        assert periods["small"] == pytest.approx(2.0)
+        assert periods["large"] == pytest.approx(56.0)
+
+    def test_constraint_report_summary_shape(self, ens_lyon, ens_plan):
+        report = check_constraints(ens_plan, ens_lyon)
+        summary = report.summary()
+        assert set(summary) >= {"collision_free", "complete", "intrusiveness"}
+        assert 0.0 <= report.intrusiveness <= 1.0
+
+    def test_env_plan_less_intrusive_than_global(self, ens_lyon, ens_plan):
+        env_report = evaluate_plan(ens_plan, ens_lyon)
+        global_report = evaluate_plan(global_clique_plan(ens_lyon), ens_lyon)
+        assert env_report.measured_pairs < global_report.measured_pairs
+        assert env_report.worst_period_s < global_report.worst_period_s
+
+    def test_env_plan_complete_unlike_subnet_plan(self, ens_lyon, ens_plan):
+        env_report = evaluate_plan(ens_plan, ens_lyon)
+        subnet_report = evaluate_plan(subnet_plan(ens_lyon), ens_lyon)
+        assert env_report.completeness == pytest.approx(1.0)
+        assert subnet_report.completeness < 1.0
+
+    def test_compare_plans_keeps_names(self, ens_lyon, ens_plan):
+        reports = compare_plans({"env": ens_plan,
+                                 "global": global_clique_plan(ens_lyon)}, ens_lyon)
+        assert [r.planner for r in reports] == ["env", "global"]
+        rows = [r.as_row() for r in reports]
+        assert all("completeness" in row for row in rows)
+
+
+class TestBaselines:
+    def test_global_clique_contains_all_hosts(self, ens_lyon):
+        plan = global_clique_plan(ens_lyon)
+        assert plan.cliques[0].size == len(ens_lyon.host_names())
+
+    def test_independent_pairs_count(self, ens_lyon):
+        hosts = ens_lyon.host_names()
+        plan = independent_pairs_plan(ens_lyon, hosts)
+        n = len(hosts)
+        assert len(plan.cliques) == n * (n - 1) // 2
+
+    def test_random_partition_covers_all_hosts(self, ens_lyon):
+        plan = random_partition_plan(ens_lyon, clique_size=4, seed=9)
+        assert plan.monitored_hosts() == set(ens_lyon.host_names())
+
+    def test_random_partition_rejects_tiny_cliques(self, ens_lyon):
+        with pytest.raises(ValueError):
+            random_partition_plan(ens_lyon, clique_size=1)
+
+    def test_random_partition_deterministic_per_seed(self, ens_lyon):
+        a = random_partition_plan(ens_lyon, clique_size=4, seed=5)
+        b = random_partition_plan(ens_lyon, clique_size=4, seed=5)
+        assert [c.hosts for c in a.cliques] == [c.hosts for c in b.cliques]
+
+    def test_subnet_plan_groups_by_prefix(self, ens_lyon):
+        plan = subnet_plan(ens_lyon)
+        sci_clique = next(c for c in plan.cliques if "sci1" in c.hosts)
+        assert set(sci_clique.hosts) == {f"sci{i}" for i in range(1, 7)}

@@ -1,0 +1,249 @@
+"""Tests of the ENV mapper: structural phase, bandwidth tests, full mapping."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import score_view
+from repro.env import (
+    AnalyticProbeDriver,
+    ClusterRefiner,
+    DEFAULT_THRESHOLDS,
+    ENVThresholds,
+    KIND_SHARED,
+    KIND_SWITCHED,
+    SimulatedProbeDriver,
+    build_structural_tree,
+    classify_ratio,
+    lookup_machines,
+    map_ens_lyon,
+    map_platform,
+    merge_views,
+    site_domain_of,
+)
+from repro.netsim import (
+    PRIVATE_HOSTS,
+    PUBLIC_HOSTS,
+    build_ens_lyon,
+    expected_effective_groups,
+    generate_single_site,
+)
+
+
+class TestThresholds:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_THRESHOLDS.split_ratio == 3.0
+        assert DEFAULT_THRESHOLDS.pairwise_independence_ratio == 1.25
+        assert DEFAULT_THRESHOLDS.shared_threshold == 0.7
+        assert DEFAULT_THRESHOLDS.switched_threshold == 0.9
+        assert DEFAULT_THRESHOLDS.jam_repetitions == 5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"split_ratio": 0.5},
+        {"pairwise_independence_ratio": 0.9},
+        {"shared_threshold": 0.95, "switched_threshold": 0.9},
+        {"jam_repetitions": 0},
+        {"probe_size_bytes": 0},
+    ])
+    def test_invalid_thresholds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ENVThresholds(**kwargs)
+
+    def test_with_overrides(self):
+        t = DEFAULT_THRESHOLDS.with_overrides(split_ratio=5.0)
+        assert t.split_ratio == 5.0
+        assert t.jam_repetitions == DEFAULT_THRESHOLDS.jam_repetitions
+
+    def test_classify_ratio_bands(self):
+        assert classify_ratio(0.5, DEFAULT_THRESHOLDS) == KIND_SHARED
+        assert classify_ratio(0.99, DEFAULT_THRESHOLDS) == KIND_SWITCHED
+        assert classify_ratio(0.8, DEFAULT_THRESHOLDS) == "unknown"
+
+
+class TestLookup:
+    def test_machine_info_collected(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        machines = lookup_machines(driver, ["canaria", "moby", "popc0"])
+        assert machines["canaria"].ip == "140.77.13.229"
+        assert machines["canaria"].domain == "ens-lyon.fr"
+        assert machines["popc0"].domain == "popc.private"
+
+    def test_host_properties_reported(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        machines = lookup_machines(driver, ["canaria"])
+        assert machines["canaria"].properties.get("CPU_model") == "Pentium Pro"
+
+    def test_site_domain_majority(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        machines = lookup_machines(driver, PUBLIC_HOSTS)
+        assert site_domain_of(machines) == "ens-lyon.fr"
+
+    def test_unnamed_host_grouped_by_classful_network(self):
+        platform = generate_single_site(hosts_per_cluster=2)
+        # make one host unnamed and without a known DNS domain
+        platform.resolver.register(None, str(platform.nodes["c0h0"].ip))
+        platform.nodes["c0h0"].domain = ""
+        driver = AnalyticProbeDriver(platform)
+        machines = lookup_machines(driver, ["c0h0"])
+        assert machines["c0h0"].domain.startswith("net-")
+
+
+class TestStructuralTree:
+    def test_public_tree_matches_figure2(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        tree = build_structural_tree(driver, PUBLIC_HOSTS, master="the-doors")
+        assert tree.label == "192.168.254.1"
+        child_labels = sorted(tree.children)
+        assert "140.77.13.1" in child_labels
+        assert "140.77.161.1" in child_labels
+        public_leaf = tree.children["140.77.13.1"]
+        assert sorted(public_leaf.machines) == ["canaria", "moby", "the-doors"]
+        lhpc = tree.children["140.77.161.1"].children["140.77.12.1"]
+        assert sorted(lhpc.machines) == ["myri0", "popc0", "sci0"]
+
+    def test_private_tree_uses_master_fallback(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        tree = build_structural_tree(driver, PRIVATE_HOSTS, master="popc0")
+        # gateways attach directly, clusters hang below their gateway hop
+        assert set(tree.machines) >= {"myri0", "sci0", "popc0"}
+        gateway_children = {node.gateway_host for node in tree.children.values()}
+        assert gateway_children == {"myri0", "sci0"}
+
+    def test_all_hosts_present_exactly_once(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        tree = build_structural_tree(driver, PUBLIC_HOSTS, master="the-doors")
+        machines = tree.all_machines()
+        assert sorted(machines) == sorted(PUBLIC_HOSTS)
+
+
+class TestClusterRefiner:
+    def test_split_by_bandwidth_ratio(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        refiner = ClusterRefiner(driver, "the-doors", DEFAULT_THRESHOLDS)
+        # canaria/moby at ~100 Mbit/s, popc0 at ~10 Mbit/s: ratio 10 > 3
+        base = refiner.measure_base_bandwidths(["canaria", "moby", "popc0"])
+        groups = refiner.split_by_bandwidth(["canaria", "moby", "popc0"], base)
+        assert sorted(sorted(g) for g in groups) == [["canaria", "moby"], ["popc0"]]
+
+    def test_no_split_for_similar_bandwidth(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        refiner = ClusterRefiner(driver, "popc0", DEFAULT_THRESHOLDS)
+        base = refiner.measure_base_bandwidths(["sci1", "sci2", "myri1"])
+        groups = refiner.split_by_bandwidth(["sci1", "sci2", "myri1"], base)
+        assert len(groups) == 1
+
+    def test_pairwise_dependence_keeps_bottlenecked_hosts_together(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        refiner = ClusterRefiner(driver, "the-doors", DEFAULT_THRESHOLDS)
+        hosts = ["myri0", "popc0", "sci0"]
+        base = refiner.measure_base_bandwidths(hosts)
+        groups = refiner.split_by_pairwise(hosts, base)
+        assert groups == [sorted(hosts)]
+
+    def test_jam_classifies_hub_as_shared(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        refiner = ClusterRefiner(driver, "popc0", DEFAULT_THRESHOLDS)
+        clusters = refiner.refine(["myri1", "myri2"], gateway="myri0")
+        assert len(clusters) == 1
+        assert clusters[0].kind == KIND_SHARED
+        assert clusters[0].jam_ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_jam_classifies_switch_as_switched(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        refiner = ClusterRefiner(driver, "popc0", DEFAULT_THRESHOLDS)
+        clusters = refiner.refine([f"sci{i}" for i in range(1, 7)], gateway="sci0")
+        assert len(clusters) == 1
+        assert clusters[0].kind == KIND_SWITCHED
+        assert clusters[0].jam_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_master_excluded_from_refinement(self, ens_lyon):
+        driver = AnalyticProbeDriver(ens_lyon)
+        refiner = ClusterRefiner(driver, "the-doors", DEFAULT_THRESHOLDS)
+        clusters = refiner.refine(["the-doors", "canaria", "moby"])
+        assert all("the-doors" not in c.hosts for c in clusters)
+
+    def test_local_bandwidth_differs_from_base(self, ens_lyon):
+        """The paper's popc example: 10 Mbit/s to reach it, 100 Mbit/s locally."""
+        driver = AnalyticProbeDriver(ens_lyon)
+        refiner = ClusterRefiner(driver, "the-doors", DEFAULT_THRESHOLDS)
+        clusters = refiner.refine(["myri0", "popc0", "sci0"])
+        cluster = clusters[0]
+        assert cluster.base_bandwidth_mbps == pytest.approx(10.0, rel=0.05)
+        assert cluster.local_bandwidth_mbps == pytest.approx(100.0, rel=0.05)
+
+
+class TestFullMapping:
+    def test_merged_view_matches_figure_1b(self, merged_view):
+        score = score_view(merged_view, expected_effective_groups(),
+                           ignore_hosts={"the-doors"})
+        assert score.perfect, [g for g in score.groups if g.jaccard < 1.0]
+
+    def test_merge_resolves_classification_conflict(self, public_view,
+                                                    private_view):
+        # from the-doors the gateway group looks switched (upstream bottleneck
+        # masks the hub); the merge must prefer the local (private) view.
+        pub_group = public_view.network_of("myri0")
+        prv_group = private_view.network_of("myri0")
+        assert pub_group.kind == KIND_SWITCHED
+        assert prv_group.kind == KIND_SHARED
+        merged = merge_views(public_view, private_view, {})
+        assert merged.network_of("myri0").kind == KIND_SHARED
+
+    def test_master_belongs_to_its_home_network(self, merged_view):
+        home = merged_view.network_of("the-doors")
+        assert home is not None
+        assert {"canaria", "moby"} <= set(home.hosts)
+        assert home.kind == KIND_SHARED
+
+    def test_unreachable_hosts_are_dropped_per_side(self, ens_lyon):
+        view = map_platform(ens_lyon, "the-doors")  # all 14 hosts requested
+        assert "sci3" not in view.machines
+        assert "canaria" in view.machines
+
+    def test_probe_stats_accumulated(self, merged_view):
+        assert merged_view.stats.measurements > 0
+        assert merged_view.stats.traceroutes >= len(PUBLIC_HOSTS)
+        assert merged_view.stats.bytes_injected > 0
+
+    def test_gridml_export_contains_networks_and_machines(self, merged_view):
+        doc = merged_view.to_gridml()
+        types = {n.network_type for n in doc.all_networks()}
+        assert "ENV_Shared" in types and "ENV_Switched" in types
+        assert "sci3" in [m.name for s in doc.sites for m in s.machines]
+
+    def test_mapping_with_noise_still_correct(self, ens_lyon):
+        rng = np.random.default_rng(42)
+        view = map_ens_lyon(ens_lyon, noise_sigma=0.03, rng=rng)
+        score = score_view(view, expected_effective_groups(),
+                           ignore_hosts={"the-doors"})
+        assert score.kind_accuracy == 1.0
+
+    def test_simulated_driver_agrees_with_analytic(self, ens_lyon):
+        view = map_platform(ens_lyon, "popc0", hosts=PRIVATE_HOSTS,
+                            mode="simulated")
+        groups = view.grouping()
+        sci = next(g for g in groups.values() if "sci1" in g["hosts"])
+        myri = next(g for g in groups.values() if "myri1" in g["hosts"])
+        assert sci["kind"] == KIND_SWITCHED
+        assert myri["kind"] == KIND_SHARED
+
+    def test_synthetic_single_site_mapping(self):
+        platform = generate_single_site(n_hub_clusters=1, n_switch_clusters=1,
+                                        hosts_per_cluster=4)
+        master = platform.host_names()[0]
+        view = map_platform(platform, master)
+        from repro.netsim import ground_truth_groups
+        score = score_view(view, ground_truth_groups(platform),
+                           ignore_hosts={master})
+        assert score.kind_accuracy == 1.0
+
+    def test_unknown_driver_mode_rejected(self, ens_lyon):
+        with pytest.raises(ValueError):
+            map_platform(ens_lyon, "the-doors", mode="telepathy")
+
+    def test_simulated_driver_requires_matching_platform(self, ens_lyon):
+        other = generate_single_site()
+        from repro.netsim import FlowModel
+        from repro.simkernel import Engine
+        foreign_model = FlowModel(Engine(), other)
+        with pytest.raises(ValueError):
+            SimulatedProbeDriver(ens_lyon, flow_model=foreign_model)

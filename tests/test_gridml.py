@@ -1,0 +1,166 @@
+"""Tests of the GridML document model, writer, parser and firewall merge."""
+
+import pytest
+
+from repro.gridml import (
+    GridDocument,
+    GridMLParseError,
+    GridProperty,
+    MachineEntry,
+    NetworkEntry,
+    SiteEntry,
+    build_alias_table,
+    from_xml,
+    merge_documents,
+    read_gridml,
+    to_xml,
+    write_gridml,
+)
+
+
+def sample_document() -> GridDocument:
+    doc = GridDocument(label="Grid1")
+    site = SiteEntry(domain="ens-lyon.fr", label="ENS-LYON-FR")
+    canaria = MachineEntry(name="canaria.ens-lyon.fr", ip="140.77.13.229",
+                           aliases=["canaria"])
+    canaria.add_property("CPU_model", "Pentium Pro")
+    canaria.add_property("CPU_clock", "198.951", units="MHz")
+    site.machines.append(canaria)
+    site.machines.append(MachineEntry(name="moby.cri2000.ens-lyon.fr",
+                                      ip="140.77.13.82", aliases=["moby"]))
+    doc.sites.append(site)
+    sci = NetworkEntry(label="sci0", network_type="ENV_Switched")
+    sci.add_property("ENV_base_BW", "32.65", units="Mbps")
+    sci.machines = [f"sci{i}.popc.private" for i in range(1, 7)]
+    root = NetworkEntry(label="192.168.254.1", network_type="Structural")
+    root.subnetworks.append(sci)
+    doc.networks.append(root)
+    return doc
+
+
+class TestModel:
+    def test_machine_lookup_by_alias(self):
+        doc = sample_document()
+        assert doc.machine("canaria") is doc.machine("canaria.ens-lyon.fr")
+
+    def test_property_value(self):
+        doc = sample_document()
+        assert doc.machine("canaria").property_value("CPU_model") == "Pentium Pro"
+        assert doc.machine("canaria").property_value("missing") is None
+
+    def test_network_walk_and_all_machines(self):
+        doc = sample_document()
+        nets = doc.all_networks()
+        assert [n.label for n in nets] == ["192.168.254.1", "sci0"]
+        assert len(nets[0].all_machines()) == 6
+
+    def test_networks_of_type(self):
+        doc = sample_document()
+        assert [n.label for n in doc.networks_of_type("ENV_Switched")] == ["sci0"]
+
+    def test_site_lookup(self):
+        doc = sample_document()
+        assert doc.site("ens-lyon.fr") is not None
+        assert doc.site("unknown.org") is None
+
+
+class TestWriterParser:
+    def test_xml_contains_paper_structure(self):
+        xml = to_xml(sample_document())
+        assert xml.startswith('<?xml version="1.0"?>')
+        assert '<SITE domain="ens-lyon.fr">' in xml
+        assert '<ALIAS name="canaria" />' in xml or '<ALIAS name="canaria"/>' in xml
+        assert 'type="ENV_Switched"' in xml
+        assert 'units="Mbps"' in xml
+
+    def test_roundtrip_preserves_content(self):
+        doc = sample_document()
+        parsed = from_xml(to_xml(doc))
+        assert parsed.label == doc.label
+        assert parsed.all_machine_names() == doc.all_machine_names()
+        assert [n.label for n in parsed.all_networks()] == \
+            [n.label for n in doc.all_networks()]
+        sci = parsed.networks_of_type("ENV_Switched")[0]
+        assert sci.property_value("ENV_base_BW") == "32.65"
+        assert len(sci.machines) == 6
+
+    def test_roundtrip_not_pretty(self):
+        doc = sample_document()
+        parsed = from_xml(to_xml(doc, pretty=False))
+        assert parsed.all_machine_names() == doc.all_machine_names()
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "grid.xml"
+        write_gridml(sample_document(), str(path))
+        parsed = read_gridml(str(path))
+        assert parsed.site("ens-lyon.fr") is not None
+
+    def test_bad_xml_raises(self):
+        with pytest.raises(GridMLParseError):
+            from_xml("<GRID><SITE></GRID>")
+
+    def test_wrong_root_raises(self):
+        with pytest.raises(GridMLParseError):
+            from_xml("<NOTGRID/>")
+
+    def test_property_without_value_raises(self):
+        with pytest.raises(GridMLParseError):
+            from_xml('<GRID><SITE domain="d"><MACHINE><LABEL name="m"/>'
+                     '<PROPERTY name="x"/></MACHINE></SITE></GRID>')
+
+
+class TestMerge:
+    def make_sides(self):
+        public = GridDocument(label="public")
+        pub_site = SiteEntry(domain="ens-lyon.fr")
+        pub_site.machines.append(MachineEntry(name="the-doors", ip="140.77.13.10"))
+        pub_site.machines.append(MachineEntry(name="myri.ens-lyon.fr",
+                                              ip="140.77.12.52"))
+        public.sites.append(pub_site)
+
+        private = GridDocument(label="private")
+        prv_site = SiteEntry(domain="popc.private")
+        gw = MachineEntry(name="myri0.popc.private", ip="192.168.81.50")
+        gw.add_property("kflops", 21000)
+        prv_site.machines.append(gw)
+        prv_site.machines.append(MachineEntry(name="myri1.popc.private",
+                                              ip="192.168.82.1"))
+        private.sites.append(prv_site)
+        return public, private
+
+    def test_alias_table_symmetry(self):
+        table = build_alias_table([("myri.ens-lyon.fr", "myri0.popc.private")])
+        assert table["myri.ens-lyon.fr"] == "myri0.popc.private"
+        assert table["myri0.popc.private"] == "myri.ens-lyon.fr"
+
+    def test_alias_table_rejects_singletons(self):
+        with pytest.raises(ValueError):
+            build_alias_table([("only-one",)])
+
+    def test_merge_keeps_both_sites(self):
+        public, private = self.make_sides()
+        aliases = build_alias_table([("myri.ens-lyon.fr", "myri0.popc.private")])
+        merged = merge_documents(public, private, aliases)
+        assert merged.site("ens-lyon.fr") is not None
+        assert merged.site("popc.private") is not None
+
+    def test_merge_folds_gateway_into_one_machine(self):
+        public, private = self.make_sides()
+        aliases = build_alias_table([("myri.ens-lyon.fr", "myri0.popc.private")])
+        merged = merge_documents(public, private, aliases)
+        gateway = merged.machine("myri.ens-lyon.fr")
+        assert gateway is not None
+        assert "myri0.popc.private" in gateway.aliases
+        # properties of the private-side record are preserved
+        assert gateway.property_value("kflops") == "21000"
+        # non-gateway machines appear exactly once
+        names = merged.all_machine_names()
+        assert names.count("myri1.popc.private") == 1
+
+    def test_merge_without_aliases_keeps_machines_separate(self):
+        public, private = self.make_sides()
+        merged = merge_documents(public, private, {})
+        assert merged.machine("myri.ens-lyon.fr") is not None
+        assert merged.machine("myri0.popc.private") is not None
+        assert merged.machine("myri.ens-lyon.fr") is not \
+            merged.machine("myri0.popc.private")

@@ -1,0 +1,137 @@
+"""End-to-end integration tests: map → plan → deploy → monitor → query."""
+
+import pytest
+
+from repro.analysis import score_view
+from repro.core import (
+    check_constraints,
+    evaluate_plan,
+    plan_from_view,
+    render_config,
+    parse_config,
+)
+from repro.env import map_and_merge, map_platform
+from repro.netsim import (
+    SyntheticSpec,
+    generate_constellation,
+    generate_single_site,
+    ground_truth_groups,
+)
+from repro.nws import NWSClient, NWSConfig, NWSSystem
+
+
+class TestSyntheticEndToEnd:
+    @pytest.fixture(scope="class")
+    def platform(self):
+        return generate_constellation(SyntheticSpec(sites=2, seed=3,
+                                                    hosts_per_cluster=(3, 4)))
+
+    @pytest.fixture(scope="class")
+    def view(self, platform):
+        master = platform.host_names()[0]
+        return map_platform(platform, master)
+
+    @pytest.fixture(scope="class")
+    def plan(self, view):
+        return plan_from_view(view, period_s=15.0)
+
+    def test_mapping_recovers_segment_kinds(self, platform, view):
+        # From a single master, clusters reached across the WAN bottleneck can
+        # be grouped correctly but not always told shared-vs-switched (the
+        # paper's own ENS-Lyon public view has the same limitation, resolved
+        # there by mapping the far side from a local master and merging).
+        score = score_view(view, ground_truth_groups(platform),
+                           ignore_hosts={view.master})
+        assert score.mean_jaccard >= 0.8
+        assert score.kind_accuracy >= 0.8
+
+    def test_per_cluster_local_mapping_is_exact(self, platform):
+        """Mapped from a master inside each cluster, classification is exact.
+
+        This is the paper's own recipe for large platforms (§4.3): map each
+        part separately from a local master, then merge.
+        """
+        truth = ground_truth_groups(platform)
+        for name, spec in truth.items():
+            cluster_hosts = sorted(spec["hosts"])
+            if len(cluster_hosts) < 3:
+                continue
+            master = cluster_hosts[0]
+            local_view = map_platform(platform, master, hosts=cluster_hosts)
+            score = score_view(local_view, {name: spec}, ignore_hosts={master})
+            assert score.kind_accuracy == 1.0, (name, spec["kind"])
+
+    def test_plan_is_complete_and_consistent(self, platform, plan):
+        report = check_constraints(plan, platform)
+        assert report.complete or set(report.uncovered_hosts) <= {plan.nameserver_host}
+        assert plan.validate_structure() == []
+
+    def test_plan_quality_reasonable(self, platform, plan):
+        quality = evaluate_plan(plan, platform)
+        assert quality.completeness == pytest.approx(1.0)
+        assert quality.intrusiveness < 1.0
+
+    def test_config_roundtrip_preserves_plan(self, plan):
+        parsed = parse_config(render_config(plan))
+        assert {frozenset(c.hosts) for c in parsed.cliques} == \
+            {frozenset(c.hosts) for c in plan.cliques}
+
+    def test_nws_run_answers_queries(self, platform, plan):
+        system = NWSSystem(platform, plan, config=NWSConfig(token_hold_gap_s=1.0))
+        system.run(120.0)
+        client = NWSClient(system)
+        hosts = sorted(plan.hosts)[:6]
+        availability = client.availability(hosts)
+        assert availability == pytest.approx(1.0)
+
+
+class TestFirewalledSyntheticPlatform:
+    def test_two_side_mapping_covers_all_hosts(self):
+        platform = generate_constellation(SyntheticSpec(
+            sites=2, seed=9, firewall_probability=1.0, hosts_per_cluster=(3, 3)))
+        truth = ground_truth_groups(platform)
+        hosts = platform.host_names()
+        # public side: one gateway per cluster (recorded in the ground truth),
+        # private sides: each isolated cluster mapped from inside.
+        gateways = [spec["gateway"] or sorted(spec["hosts"])[0]
+                    for spec in truth.values()]
+        sides = [(gateways[0], gateways)]
+        for spec in truth.values():
+            cluster_hosts = sorted(spec["hosts"])
+            master = spec["gateway"] or cluster_hosts[0]
+            sides.append((master, cluster_hosts))
+        merged = map_and_merge(platform, sides)
+        assert set(merged.machines) == set(hosts)
+
+    def test_growth_of_probe_cost_with_platform_size(self):
+        costs = []
+        for sites in (1, 2, 3):
+            platform = generate_constellation(SyntheticSpec(
+                sites=sites, seed=5, hosts_per_cluster=(3, 3),
+                clusters_per_site=(2, 2)))
+            master = platform.host_names()[0]
+            view = map_platform(platform, master)
+            costs.append(view.stats.measurements)
+        assert costs[0] < costs[1] < costs[2]
+
+
+class TestSingleClusterDegenerateCases:
+    def test_single_switch_cluster(self):
+        platform = generate_single_site(n_hub_clusters=0, n_switch_clusters=1,
+                                        hosts_per_cluster=3)
+        master = platform.host_names()[0]
+        plan = plan_from_view(map_platform(platform, master))
+        assert len(plan.cliques) >= 1
+        report = check_constraints(plan, platform)
+        assert report.collision_free
+
+    def test_two_host_platform(self):
+        platform = generate_single_site(n_hub_clusters=1, n_switch_clusters=0,
+                                        hosts_per_cluster=2)
+        master = platform.host_names()[0]
+        view = map_platform(platform, master)
+        plan = plan_from_view(view)
+        # with only two hosts (one being the master) the planner may produce a
+        # single pair clique or only representative coverage; either way the
+        # plan must be structurally valid.
+        assert plan.validate_structure() == []

@@ -1,0 +1,257 @@
+"""Tests of traceroute, firewall, VLAN, builders, generators and ENS-Lyon."""
+
+import pytest
+
+from repro.netsim import (
+    ANONYMOUS_HOP,
+    ClusterSpec,
+    Firewall,
+    GATEWAY_ALIASES,
+    Platform,
+    PRIVATE_HOSTS,
+    PUBLIC_HOSTS,
+    SiteBuilder,
+    SyntheticSpec,
+    VlanPlan,
+    attach_firewall,
+    build_ens_lyon,
+    expected_effective_groups,
+    generate_constellation,
+    generate_single_site,
+    ground_truth_groups,
+    ping_rtt,
+    platform_allows,
+    traceroute,
+)
+
+
+class TestTraceroute:
+    def test_layer2_devices_invisible(self, ens_lyon):
+        result = traceroute(ens_lyon, "sci1", "sci2")
+        assert all("switch" not in hop.address for hop in result.hops)
+        # only the destination host appears (switch is transparent)
+        assert result.hops[-1].node == "sci2"
+
+    def test_public_host_path_matches_figure2(self, ens_lyon):
+        result = traceroute(ens_lyon, "canaria")
+        assert result.reported_addresses() == ["140.77.13.1", "192.168.254.1"]
+
+    def test_gateway_path_matches_figure2(self, ens_lyon):
+        result = traceroute(ens_lyon, "myri0")
+        assert result.reported_addresses() == ["140.77.12.1", "140.77.161.1",
+                                               "192.168.254.1"]
+
+    def test_firewalled_host_cannot_reach_outside(self, ens_lyon):
+        result = traceroute(ens_lyon, "sci3")
+        assert not result.reached
+        assert result.hops == []
+
+    def test_silent_router_reports_anonymous_hop(self):
+        p = Platform()
+        p.add_host("a", "10.0.1.1")
+        p.add_host("b", "10.0.2.1")
+        p.add_router("silent", "10.0.0.1", answers_traceroute=False)
+        p.add_link("a", "silent", 100.0)
+        p.add_link("silent", "b", 100.0)
+        result = traceroute(p, "a", "b")
+        assert result.hops[0].address == ANONYMOUS_HOP
+        assert result.hops[0].responded is False
+
+    def test_per_interface_addresses(self):
+        p = Platform()
+        p.add_host("a", "10.0.1.1")
+        p.add_host("b", "10.0.2.1")
+        p.add_router("r", "10.0.0.1",
+                     interface_ips={"a": "10.0.1.254", "b": "10.0.2.254"})
+        p.add_link("a", "r", 100.0)
+        p.add_link("r", "b", 100.0)
+        assert traceroute(p, "a", "b").hops[0].address == "10.0.1.254"
+        assert traceroute(p, "b", "a").hops[0].address == "10.0.2.254"
+
+    def test_ping_rtt_sums_both_directions(self, ens_lyon):
+        rtt = ping_rtt(ens_lyon, "the-doors", "canaria")
+        assert rtt == pytest.approx(2 * ens_lyon.route("the-doors", "canaria").latency)
+
+    def test_external_destination_requires_external_node(self):
+        p = Platform()
+        p.add_host("a", "10.0.0.1")
+        with pytest.raises(ValueError):
+            traceroute(p, "a")
+
+
+class TestFirewall:
+    def test_isolated_domain_blocks_non_gateways(self, ens_lyon):
+        assert not platform_allows(ens_lyon, "sci1", "canaria")
+        assert not platform_allows(ens_lyon, "canaria", "myri2")
+
+    def test_gateways_cross_the_firewall(self, ens_lyon):
+        assert platform_allows(ens_lyon, "popc0", "the-doors")
+        assert platform_allows(ens_lyon, "the-doors", "sci0")
+
+    def test_intra_domain_always_allowed(self, ens_lyon):
+        assert platform_allows(ens_lyon, "sci1", "myri1")
+        assert platform_allows(ens_lyon, "moby", "canaria")
+
+    def test_explicit_deny_pairs(self):
+        fw = Firewall()
+        fw.deny("a", "b")
+        p = Platform()
+        p.add_host("a", "10.0.0.1")
+        p.add_host("b", "10.0.0.2")
+        p.add_link("a", "b", 100.0)
+        attach_firewall(p, fw)
+        assert not platform_allows(p, "a", "b")
+        assert not platform_allows(p, "b", "a")
+
+    def test_platform_without_firewall_allows_everything(self):
+        p = Platform()
+        p.add_host("a", "10.0.0.1")
+        p.add_host("b", "10.0.0.2")
+        assert platform_allows(p, "a", "b")
+
+
+class TestVlan:
+    def test_members_and_groups(self, ens_lyon):
+        plan = VlanPlan()
+        plan.assign("moby", "staff")
+        plan.assign("canaria", "staff")
+        plan.assign("sci1", "laptops")
+        plan.apply(ens_lyon)
+        assert plan.members("staff") == ["canaria", "moby"]
+        groups = plan.logical_groups(ens_lyon)
+        assert "staff" in groups and "laptops" in groups
+
+    def test_mismatch_detection(self, ens_lyon):
+        plan = VlanPlan()
+        # moby and sci1 share no physical segment, yet same VLAN
+        plan.assign("moby", "mixed")
+        plan.assign("sci1", "mixed")
+        assert "sci1" in plan.mismatches_physical(ens_lyon) or \
+               "moby" in plan.mismatches_physical(ens_lyon)
+
+
+class TestBuilders:
+    def test_hub_cluster_construction(self):
+        b = SiteBuilder(name="t")
+        b.platform.add_external("net")
+        b.add_router("r", "10.0.0.1")
+        b.connect("r", "net", 100.0)
+        hosts = b.add_cluster(ClusterSpec(name="c0", kind="hub",
+                                          hosts=["h0", "h1", "h2"],
+                                          bandwidth_mbps=100.0),
+                              subnet="10.0.1", attach_to="r")
+        platform = b.build()
+        assert [h.name for h in hosts] == ["h0", "h1", "h2"]
+        keys = platform.route("h0", "h1").constraint_keys(platform)
+        assert any(k[0] == "hub" for k in keys)
+
+    def test_switch_cluster_has_no_hub_key(self):
+        b = SiteBuilder(name="t")
+        b.platform.add_external("net")
+        b.add_router("r", "10.0.0.1")
+        b.connect("r", "net", 100.0)
+        b.add_cluster(ClusterSpec(name="c0", kind="switch", hosts=["h0", "h1"]),
+                      subnet="10.0.1", attach_to="r")
+        platform = b.build()
+        keys = platform.route("h0", "h1").constraint_keys(platform)
+        assert not any(k[0] == "hub" for k in keys)
+
+    def test_unknown_cluster_kind_rejected(self):
+        b = SiteBuilder()
+        with pytest.raises(ValueError):
+            b.add_cluster(ClusterSpec(name="x", kind="ring", hosts=["h"]),
+                          subnet="10.0.9")
+
+    def test_subnet_exhaustion(self):
+        b = SiteBuilder()
+        with pytest.raises(ValueError):
+            for i in range(300):
+                b.add_host(f"h{i}", subnet="10.0.1")
+
+
+class TestGenerators:
+    def test_constellation_is_deterministic(self):
+        spec = SyntheticSpec(sites=2, seed=11)
+        a = generate_constellation(spec)
+        b = generate_constellation(spec)
+        assert a.host_names() == b.host_names()
+        assert sorted(a.links) == sorted(b.links)
+
+    def test_ground_truth_covers_all_hosts(self):
+        platform = generate_constellation(SyntheticSpec(sites=3, seed=5))
+        truth = ground_truth_groups(platform)
+        covered = set()
+        for spec in truth.values():
+            covered |= set(spec["hosts"])
+        assert covered == set(platform.host_names())
+
+    def test_ground_truth_kinds_match_topology(self):
+        platform = generate_constellation(SyntheticSpec(sites=2, seed=7))
+        truth = ground_truth_groups(platform)
+        for segment, spec in truth.items():
+            hosts = sorted(spec["hosts"])
+            if len(hosts) < 2:
+                continue
+            keys = platform.route(hosts[0], hosts[1]).constraint_keys(platform)
+            has_hub = any(k[0] == "hub" for k in keys)
+            assert has_hub == (spec["kind"] == "shared")
+
+    def test_single_site_generator_shapes(self):
+        platform = generate_single_site(n_hub_clusters=2, n_switch_clusters=1,
+                                        hosts_per_cluster=3)
+        truth = ground_truth_groups(platform)
+        kinds = sorted(spec["kind"] for spec in truth.values())
+        assert kinds == ["shared", "shared", "switched"]
+        assert len(platform.host_names()) == 9
+
+    def test_missing_ground_truth_raises(self):
+        with pytest.raises(ValueError):
+            ground_truth_groups(Platform())
+
+
+class TestEnsLyon:
+    def test_host_inventory(self, ens_lyon):
+        names = ens_lyon.host_names()
+        assert set(PUBLIC_HOSTS) <= set(names)
+        assert set(PRIVATE_HOSTS) <= set(names)
+        assert len(names) == 14
+
+    def test_asymmetric_route_bandwidths(self, ens_lyon):
+        from repro.netsim import FlowModel
+        from repro.simkernel import Engine
+        fm = FlowModel(Engine(), ens_lyon)
+        assert fm.single_flow_mbps("the-doors", "popc0") == pytest.approx(10.0)
+        assert fm.single_flow_mbps("popc0", "the-doors") == pytest.approx(100.0)
+
+    def test_hub_sharing_inside_clusters(self, ens_lyon):
+        from repro.netsim import FlowModel
+        from repro.simkernel import Engine
+        fm = FlowModel(Engine(), ens_lyon)
+        shared = fm.steady_state_mbps([("myri1", "myri0"), ("myri2", "myri0")])
+        assert shared[0] == pytest.approx(50.0)
+        switched = fm.steady_state_mbps([("sci1", "sci0"), ("sci2", "sci3")])
+        assert switched[0] == pytest.approx(100.0)
+
+    def test_gateway_aliases_resolve(self, ens_lyon):
+        for private, public in GATEWAY_ALIASES.items():
+            assert str(ens_lyon.resolver.resolve(public)) == \
+                str(ens_lyon.nodes[private].ip)
+
+    def test_expected_groups_partition_non_master_hosts(self):
+        groups = expected_effective_groups()
+        all_hosts = set()
+        for spec in groups.values():
+            assert not (all_hosts & spec["hosts"])
+            all_hosts |= spec["hosts"]
+        assert "sci1" in all_hosts and "canaria" in all_hosts
+
+    def test_variant_without_firewall(self):
+        p = build_ens_lyon(with_firewall=False)
+        assert platform_allows(p, "sci1", "canaria")
+
+    def test_variant_with_symmetric_routes(self):
+        from repro.netsim import FlowModel
+        from repro.simkernel import Engine
+        p = build_ens_lyon(asymmetric_routes=False)
+        fm = FlowModel(Engine(), p)
+        assert fm.single_flow_mbps("popc0", "the-doors") == pytest.approx(10.0)

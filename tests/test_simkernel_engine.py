@@ -1,0 +1,281 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simkernel import (
+    Engine,
+    Event,
+    Interrupt,
+    RandomStreams,
+    Resource,
+    Store,
+    Tracer,
+    derive_seed,
+)
+
+
+class TestEngineBasics:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert Engine(start_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        eng = Engine()
+        eng.timeout(3.5)
+        eng.run()
+        assert eng.now == pytest.approx(3.5)
+
+    def test_run_until_time_stops_early(self):
+        eng = Engine()
+        eng.timeout(10.0)
+        eng.run(until=4.0)
+        assert eng.now == pytest.approx(4.0)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().timeout(-1.0)
+
+    def test_run_until_past_time_rejected(self):
+        eng = Engine(start_time=10.0)
+        with pytest.raises(ValueError):
+            eng.run(until=5.0)
+
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        for delay in (3.0, 1.0, 2.0):
+            eng.timeout(delay, value=delay).add_callback(
+                lambda ev: fired.append(ev.value))
+        eng.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_call_at_runs_callback(self):
+        eng = Engine()
+        seen = []
+        eng.call_at(2.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [2.0]
+
+    def test_call_at_in_past_rejected(self):
+        eng = Engine(start_time=3.0)
+        with pytest.raises(ValueError):
+            eng.call_at(1.0, lambda: None)
+
+    def test_event_cannot_fire_twice(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_event_value_before_trigger_raises(self):
+        eng = Engine()
+        with pytest.raises(RuntimeError):
+            _ = eng.event().value
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        eng = Engine()
+
+        def worker():
+            yield eng.timeout(1.0)
+            return "done"
+
+        proc = eng.process(worker())
+        assert eng.run(until=proc) == "done"
+        assert eng.now == pytest.approx(1.0)
+
+    def test_process_receives_event_value(self):
+        eng = Engine()
+        results = []
+
+        def worker():
+            value = yield eng.timeout(1.0, value=42)
+            results.append(value)
+
+        eng.process(worker())
+        eng.run()
+        assert results == [42]
+
+    def test_processes_wait_on_each_other(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(2.0)
+            return 7
+
+        def parent():
+            value = yield eng.process(child())
+            return value * 2
+
+        proc = eng.process(parent())
+        assert eng.run(until=proc) == 14
+
+    def test_interrupt_wakes_process(self):
+        eng = Engine()
+        caught = []
+
+        def sleeper():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as exc:
+                caught.append(exc.cause)
+            return "interrupted"
+
+        proc = eng.process(sleeper())
+        eng.call_at(1.0, lambda: proc.interrupt("wake up"))
+        assert eng.run(until=proc) == "interrupted"
+        assert caught == ["wake up"]
+        assert eng.now == pytest.approx(1.0)
+
+    def test_interrupting_finished_process_is_noop(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(0.1)
+
+        proc = eng.process(quick())
+        eng.run(until=proc)
+        proc.interrupt("too late")  # must not raise
+        eng.run()
+
+    def test_strict_mode_propagates_exceptions(self):
+        eng = Engine(strict=True)
+
+        def boom():
+            yield eng.timeout(0.1)
+            raise ValueError("boom")
+
+        proc = eng.process(boom())
+        with pytest.raises(ValueError):
+            eng.run(until=proc)
+
+    def test_yielding_non_event_raises(self):
+        eng = Engine()
+
+        def bad():
+            yield 42
+
+        eng.process(bad())
+        with pytest.raises(TypeError):
+            eng.run()
+
+    def test_any_of_fires_on_first(self):
+        eng = Engine()
+
+        def waiter():
+            result = yield eng.any_of([eng.timeout(5.0, "slow"),
+                                       eng.timeout(1.0, "fast")])
+            return sorted(result.values())
+
+        proc = eng.process(waiter())
+        assert eng.run(until=proc) == ["fast"]
+        assert eng.now == pytest.approx(1.0)
+
+    def test_all_of_waits_for_everything(self):
+        eng = Engine()
+
+        def waiter():
+            result = yield eng.all_of([eng.timeout(5.0, "slow"),
+                                       eng.timeout(1.0, "fast")])
+            return sorted(result.values())
+
+        proc = eng.process(waiter())
+        assert eng.run(until=proc) == ["fast", "slow"]
+        assert eng.now == pytest.approx(5.0)
+
+
+class TestResources:
+    def test_resource_grants_up_to_capacity(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        eng.run()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        res.release(r1)
+        eng.run()
+        assert r3.triggered
+
+    def test_release_unknown_request_is_benign(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)      # still queued: should just be dropped
+        res.release(r1)
+        assert res.count == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Resource(Engine(), capacity=0)
+
+    def test_store_fifo_order(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("a")
+        store.put("b")
+        assert store.get().value == "a"
+        assert store.try_get() == "b"
+        assert store.try_get() is None
+
+    def test_store_wakes_waiting_getter(self):
+        eng = Engine()
+        store = Store(eng)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append(item)
+
+        eng.process(consumer())
+        eng.call_at(1.0, lambda: store.put("late"))
+        eng.run()
+        assert received == ["late"]
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        assert list(streams.stream("x").random(5)) != list(streams.stream("y").random(5))
+
+    def test_derive_seed_is_stable_and_positive(self):
+        assert derive_seed(3, "abc") == derive_seed(3, "abc")
+        assert derive_seed(3, "abc") >= 0
+
+    def test_spawn_is_independent(self):
+        parent = RandomStreams(1)
+        child = parent.spawn("child")
+        assert list(parent.stream("s").random(3)) != list(child.stream("s").random(3))
+
+
+class TestTracer:
+    def test_emit_and_select(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", x=1)
+        tracer.emit(2.0, "b", x=2)
+        tracer.emit(3.0, "a", x=3)
+        assert len(tracer) == 3
+        assert [r["x"] for r in tracer.select("a")] == [1, 3]
+        assert tracer.select("a", x=3)[0].time == 3.0
+        assert tracer.categories() == {"a": 2, "b": 1}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "a")
+        assert len(tracer) == 0
+
+    def test_listener_invoked(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_listener(lambda rec: seen.append(rec.category))
+        tracer.emit(0.0, "x")
+        assert seen == ["x"]
