@@ -1,0 +1,27 @@
+# Developer entry points.  `make verify` is the PR gate: the tier-1 test
+# suite plus a smoke sweep exercising the parallel scenario-sweep path.
+
+PYTHON  ?= python
+PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
+REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
+
+.PHONY: verify tier1 smoke-sweep sweep bench clean
+
+verify: tier1 smoke-sweep
+
+tier1:
+	$(PYTEST) -x -q
+
+# Four small scenarios (tagged "smoke"), sharded over two workers.
+smoke-sweep:
+	$(REPRO) sweep --jobs 2 --filter smoke --cache-dir .sweep-cache --rerun
+
+# The full catalog; cached results are reused (use --rerun to force).
+sweep:
+	$(REPRO) sweep --jobs 4 --cache-dir .sweep-cache
+
+bench:
+	$(PYTEST) benchmarks/ -q -s
+
+clean:
+	rm -rf .sweep-cache .pytest_cache .benchmarks

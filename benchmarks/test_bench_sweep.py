@@ -1,0 +1,81 @@
+"""SWEEP — throughput of the scenario sweep engine and parallel speedup.
+
+The sweep engine turns the single-run pipeline into a batch experimentation
+system; this benchmark quantifies what that buys: per-scenario pipeline
+throughput, the wall-clock effect of sharding scenarios across worker
+processes, and the near-free cost of a cache-served re-run.
+"""
+
+import os
+import time
+
+from repro.analysis import render_table
+from repro.scenarios import scenario_names
+from repro.sweep import run_sweep
+
+
+def test_bench_sweep_per_scenario_throughput(benchmark, tmp_path):
+    names = scenario_names()
+    assert len(names) >= 10
+
+    result = benchmark.pedantic(
+        lambda: run_sweep(names=names, jobs=1, cache_dir=str(tmp_path),
+                          rerun=True),
+        rounds=1, iterations=1)
+
+    assert result.errors == []
+    rows = [{
+        "scenario": record.scenario,
+        "hosts": record.summary["hosts"],
+        "measurements": record.summary["measurements"],
+        "map_s": round(record.summary["timings"]["map"], 3),
+        "plan_s": round(record.summary["timings"]["plan"], 3),
+        "quality_s": round(record.summary["timings"]["quality"], 3),
+        "total_s": round(record.elapsed_s, 3),
+    } for record in sorted(result.records, key=lambda r: -r.elapsed_s)]
+    print(f"\n[SWEEP] per-scenario pipeline cost over {len(names)} scenarios "
+          f"({len(names) / result.elapsed_s:.1f} scenarios/s serial)")
+    print(render_table(rows))
+    # Every scenario stays comfortably below a second of pipeline work.
+    assert all(row["total_s"] < 5.0 for row in rows)
+
+
+def test_bench_sweep_parallel_speedup_and_cache(tmp_path):
+    names = scenario_names()
+    jobs = min(4, os.cpu_count() or 1)
+
+    start = time.perf_counter()
+    serial = run_sweep(names=names, jobs=1,
+                       cache_dir=str(tmp_path / "serial"), rerun=True)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(names=names, jobs=jobs,
+                         cache_dir=str(tmp_path / "parallel"), rerun=True)
+    parallel_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cached = run_sweep(names=names, jobs=1,
+                       cache_dir=str(tmp_path / "parallel"))
+    cached_s = time.perf_counter() - start
+
+    print(f"\n[SWEEP] {len(names)} scenarios; host has "
+          f"{os.cpu_count()} CPU(s)")
+    print(render_table([
+        {"mode": "serial (jobs=1)", "wall_s": round(serial_s, 2),
+         "speedup": 1.0, "cache_hits": serial.cache_hits},
+        {"mode": f"parallel (jobs={jobs})", "wall_s": round(parallel_s, 2),
+         "speedup": round(serial_s / parallel_s, 2),
+         "cache_hits": parallel.cache_hits},
+        {"mode": "cached re-run", "wall_s": round(cached_s, 2),
+         "speedup": round(serial_s / cached_s, 2),
+         "cache_hits": cached.cache_hits},
+    ]))
+
+    assert serial.errors == [] and parallel.errors == []
+    # Sharding overhead must stay bounded even on a single-core or heavily
+    # loaded host; the actual speedup is reported in the table above.
+    assert parallel_s < serial_s * 2.0 + 1.0
+    # The cache-served re-run does no pipeline work at all.
+    assert cached.cache_hits == len(names)
+    assert cached_s < max(0.5, serial_s / 4)

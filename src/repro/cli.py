@@ -4,15 +4,20 @@
 mirroring how the original tools were used (run ENV, look at the view, derive
 the NWS configuration, check its quality):
 
-* ``map``      — run the ENV mapping and print the effective view (optionally
-                 writing the GridML document);
-* ``plan``     — compute the NWS deployment plan and print the manager
-                 configuration file;
-* ``quality``  — evaluate the ENV plan against the topology-blind baselines;
-* ``monitor``  — deploy the simulated NWS, run it, and print forecasts.
+* ``map``       — run the ENV mapping and print the effective view (optionally
+                  writing the GridML document);
+* ``plan``      — compute the NWS deployment plan and print the manager
+                  configuration file;
+* ``quality``   — evaluate the ENV plan against the topology-blind baselines;
+* ``monitor``   — deploy the simulated NWS, run it, and print forecasts;
+* ``scenarios`` — list the registered evaluation scenarios;
+* ``sweep``     — run map → plan → quality over many scenarios in parallel,
+                  with on-disk result caching.
 
-The platform is either the paper's ENS-Lyon LAN (``--platform ens-lyon``,
-default) or a seeded synthetic constellation (``--platform synthetic``).
+The platform of the single-run commands is either the paper's ENS-Lyon LAN
+(``--platform ens-lyon``, default) or a seeded synthetic constellation
+(``--platform synthetic``); ``sweep`` draws its platforms from the scenario
+registry (:mod:`repro.scenarios`).
 """
 
 from __future__ import annotations
@@ -22,19 +27,14 @@ import sys
 from typing import List, Optional, Tuple
 
 from .analysis import render_env_tree, render_plan, render_table
-from .core import (
-    compare_plans,
-    global_clique_plan,
-    independent_pairs_plan,
-    plan_from_view,
-    random_partition_plan,
-    render_config,
-    subnet_plan,
-)
+from .core import plan_from_view, render_config
 from .env import map_ens_lyon, map_platform
 from .gridml import write_gridml
 from .netsim import SyntheticSpec, build_ens_lyon, generate_constellation
 from .nws import NWSClient, NWSSystem
+from .pipeline import BASELINE_PLANNERS, run_pipeline
+from .scenarios import list_scenarios
+from .sweep import DEFAULT_CACHE_DIR, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -97,6 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_monitor.add_argument("--pairs", nargs="*", default=[],
                            metavar="SRC:DST",
                            help="host pairs to query (default: a small sample)")
+
+    p_scenarios = sub.add_parser(
+        "scenarios", help="list the registered evaluation scenarios")
+    p_scenarios.add_argument("--filter", default=None, metavar="PATTERN",
+                             help="substring filter on name/family/tags")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run map → plan → quality over many scenarios")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default: 1)")
+    p_sweep.add_argument("--filter", default=None, metavar="PATTERN",
+                         help="substring filter on name/family/tags")
+    p_sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help=f"result cache directory (default: "
+                              f"{DEFAULT_CACHE_DIR})")
+    p_sweep.add_argument("--rerun", action="store_true",
+                         help="ignore cached results and re-run everything")
+    p_sweep.add_argument("--out", default=None, metavar="PATH",
+                         help="JSONL result store "
+                              "(default: <cache-dir>/results.jsonl)")
+    p_sweep.add_argument("--period", type=float, default=60.0,
+                         help="target measurement period per clique (seconds)")
+    p_sweep.add_argument("--baselines", nargs="*", default=None,
+                         choices=sorted(BASELINE_PLANNERS),
+                         help="baseline planners to evaluate per scenario")
     return parser
 
 
@@ -130,18 +155,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_quality(args: argparse.Namespace) -> int:
     platform = _build_platform(args)
-    view = _map_view(platform, args)
-    env_plan = plan_from_view(view)
-    hosts = sorted(env_plan.hosts)
-    plans = {
-        "env": env_plan,
-        "global-clique": global_clique_plan(platform, hosts),
-        "all-pairs": independent_pairs_plan(platform, hosts),
-        "random": random_partition_plan(platform, hosts, clique_size=4),
-        "subnet": subnet_plan(platform, hosts),
-    }
-    reports = compare_plans(plans, platform)
-    print(render_table([r.as_row() for r in reports]))
+    result = run_pipeline(platform, mapper=lambda p: _map_view(p, args))
+    print(render_table([r.as_row() for r in result.reports]))
     return 0
 
 
@@ -181,6 +196,42 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    scenarios = list_scenarios(args.filter)
+    if not scenarios:
+        print(f"no scenarios match {args.filter!r}")
+        return 1
+    rows = [{
+        "scenario": s.name,
+        "family": s.family,
+        "tags": ",".join(s.tags) or "-",
+        "hash": s.content_hash[:12],
+        "params": ", ".join(f"{k}={v}" for k, v in s.params) or "-",
+        "description": s.description,
+    } for s in scenarios]
+    print(render_table(rows))
+    print(f"\n{len(scenarios)} scenarios registered")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.baselines is not None:
+        kwargs["baselines"] = tuple(args.baselines)
+    result = run_sweep(pattern=args.filter, jobs=args.jobs,
+                       cache_dir=args.cache_dir, rerun=args.rerun,
+                       out_path=args.out, period_s=args.period, **kwargs)
+    print(result.summary_table())
+    print(f"\nswept {len(result.records)} scenarios in "
+          f"{result.elapsed_s:.2f}s with {args.jobs} job(s); "
+          f"{result.cache_hits} served from cache")
+    print(f"results appended to {result.out_path}")
+    for record in result.errors:
+        print(f"\nerror in scenario {record.scenario}:\n{record.error}",
+              file=sys.stderr)
+    return 1 if result.errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro`` command; returns the exit status."""
     parser = build_parser()
@@ -190,6 +241,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "quality": _cmd_quality,
         "monitor": _cmd_monitor,
+        "scenarios": _cmd_scenarios,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)

@@ -15,9 +15,21 @@ from .ens_lyon import (
 from .firewall import CommunicationBlocked, Firewall, attach_firewall, platform_allows
 from .flows import Flow, FlowModel, TransferResult, max_min_allocation
 from .generators import (
+    CampusSpec,
+    DegradedSpec,
+    FatTreeSpec,
+    RingSpec,
+    StarSpec,
     SyntheticSpec,
+    WanGridSpec,
+    generate_campus,
     generate_constellation,
+    generate_degraded,
+    generate_fat_tree,
+    generate_ring,
     generate_single_site,
+    generate_star,
+    generate_wan_grid,
     ground_truth_groups,
 )
 from .load import BackgroundLoad, LoadSpec, constant_pair_load, poisson_pair_load
@@ -54,6 +66,12 @@ __all__ = [
     "SiteBuilder", "ClusterSpec",
     "SyntheticSpec", "generate_constellation", "generate_single_site",
     "ground_truth_groups",
+    "WanGridSpec", "generate_wan_grid",
+    "CampusSpec", "generate_campus",
+    "FatTreeSpec", "generate_fat_tree",
+    "StarSpec", "generate_star",
+    "RingSpec", "generate_ring",
+    "DegradedSpec", "generate_degraded",
     "build_ens_lyon", "expected_effective_groups",
     "ENS_LYON_DOMAIN", "POPC_PRIVATE_DOMAIN", "GATEWAY_ALIASES",
     "PUBLIC_HOSTS", "PRIVATE_HOSTS",

@@ -1,0 +1,29 @@
+"""Scenario suite: a registry of named, hashed evaluation platforms.
+
+Importing the package loads the built-in catalog, so
+``list_scenarios()`` immediately enumerates every registered scenario::
+
+    from repro.scenarios import get_scenario, list_scenarios
+
+    for scenario in list_scenarios("wan"):
+        platform = scenario.build()
+"""
+
+from .registry import (
+    Scenario,
+    clear_registry,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from . import catalog  # noqa: F401  (side effect: populate the registry)
+
+__all__ = [
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "clear_registry",
+]

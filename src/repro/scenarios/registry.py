@@ -1,0 +1,131 @@
+"""The scenario registry.
+
+A *scenario* is a named, frozen description of one evaluation platform: a
+generator family plus the exact parameters handed to it.  Scenarios carry a
+stable content hash (over name, family and parameters) so that sweep results
+can be cached on disk and invalidated precisely when the scenario changes.
+
+Scenario builders register themselves with the :func:`register_scenario`
+decorator::
+
+    @register_scenario("star-hub-8", family="star", tags=("smoke",),
+                       hosts=8, kind="hub")
+    def _build(hosts, kind):
+        return generate_star(StarSpec(hosts=hosts, kind=kind))
+
+The keyword arguments of the decorator become the scenario's parameters and
+are passed verbatim to the builder, so the registry listing shows exactly
+what the builder will receive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..netsim.topology import Platform
+
+__all__ = ["Scenario", "register_scenario", "get_scenario", "list_scenarios",
+           "scenario_names", "clear_registry"]
+
+_REGISTRY: Dict[str, "Scenario"] = {}
+
+
+def _canonical(value: object) -> object:
+    """Parameters as canonical JSON-compatible data (tuples → lists)."""
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"scenario parameter of unsupported type: {value!r}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered evaluation scenario (immutable)."""
+
+    name: str
+    family: str
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+    #: Sorted (key, value) parameter pairs; values must be JSON-compatible.
+    params: Tuple[Tuple[str, object], ...] = ()
+    builder: Callable[..., Platform] = field(compare=False, repr=False,
+                                             default=None)  # type: ignore[assignment]
+
+    @property
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    @property
+    def content_hash(self) -> str:
+        """Stable SHA-256 over the scenario's identity and parameters."""
+        payload = json.dumps(
+            {"name": self.name, "family": self.family,
+             "params": _canonical(self.param_dict)},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def build(self) -> Platform:
+        """Construct the scenario's platform."""
+        if self.builder is None:
+            raise ValueError(f"scenario {self.name!r} has no builder")
+        return self.builder(**self.param_dict)
+
+    def matches(self, pattern: Optional[str]) -> bool:
+        """Case-insensitive substring match on name, family or tags."""
+        if not pattern:
+            return True
+        needle = pattern.lower()
+        haystacks = [self.name, self.family, *self.tags]
+        return any(needle in h.lower() for h in haystacks)
+
+
+def register_scenario(name: str, *, family: str, description: str = "",
+                      tags: Tuple[str, ...] = (), **params
+                      ) -> Callable[[Callable[..., Platform]],
+                                    Callable[..., Platform]]:
+    """Decorator registering a builder function as scenario ``name``.
+
+    The keyword arguments become the scenario parameters and are passed to
+    the decorated builder when the scenario is built.
+    """
+    def decorator(builder: Callable[..., Platform]) -> Callable[..., Platform]:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate scenario name {name!r}")
+        scenario = Scenario(name=name, family=family, description=description,
+                            tags=tuple(tags),
+                            params=tuple(sorted(params.items())),
+                            builder=builder)
+        scenario.content_hash  # fail early on non-serialisable parameters
+        _REGISTRY[name] = scenario
+        return builder
+    return decorator
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; registered: "
+                       f"{', '.join(sorted(_REGISTRY)) or '(none)'}") from None
+
+
+def list_scenarios(pattern: Optional[str] = None) -> List[Scenario]:
+    """All registered scenarios (optionally filtered), sorted by name."""
+    return sorted((s for s in _REGISTRY.values() if s.matches(pattern)),
+                  key=lambda s: s.name)
+
+
+def scenario_names(pattern: Optional[str] = None) -> List[str]:
+    return [s.name for s in list_scenarios(pattern)]
+
+
+def clear_registry() -> None:
+    """Drop all registrations (for tests only)."""
+    _REGISTRY.clear()

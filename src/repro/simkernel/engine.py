@@ -12,14 +12,10 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Event, StopSimulation, Timeout
 from .process import Process
 
 __all__ = ["Engine", "StopSimulation"]
-
-
-class StopSimulation(Exception):
-    """Raised internally to terminate :meth:`Engine.run` early."""
 
 
 class Engine:
@@ -116,8 +112,13 @@ class Engine:
         ----------
         until:
             ``None`` runs until the event queue drains.  A number runs until
-            the clock reaches that time.  An :class:`Event` runs until that
-            event fires and returns its value.
+            the clock reaches exactly that time (later events stay queued and
+            a subsequent ``run`` continues from them).  An :class:`Event`
+            runs until that event fires and returns its value.
+
+        A :class:`StopSimulation` escaping any process or callback terminates
+        the run immediately and cleanly; ``run`` returns the exception's
+        value.  This works regardless of ``strict``.
         """
         stop_event: Optional[Event] = None
         stop_time = float("inf")
@@ -134,7 +135,10 @@ class Engine:
             if self.peek() > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            try:
+                self.step()
+            except StopSimulation as stop:
+                return stop.value
             if stop_event is not None and stop_event.processed:
                 if not stop_event.ok and self.strict:
                     raise stop_event._value
@@ -152,7 +156,10 @@ class Engine:
         """Run until the queue drains, guarding against runaway simulations."""
         processed = 0
         while self._queue:
-            self.step()
+            try:
+                self.step()
+            except StopSimulation:
+                return
             processed += 1
             if processed > max_events:
                 raise RuntimeError("simulation exceeded max_events; likely livelock")

@@ -22,6 +22,7 @@ __all__ = [
     "AllOf",
     "Interrupt",
     "EventCancelled",
+    "StopSimulation",
 ]
 
 _event_ids = itertools.count()
@@ -33,6 +34,19 @@ class Interrupt(Exception):
     def __init__(self, cause: Any = None):
         super().__init__(cause)
         self.cause = cause
+
+
+class StopSimulation(Exception):
+    """Raised (by a process or callback) to terminate :meth:`Engine.run` early.
+
+    The engine always honours it — even with ``strict=False``, which swallows
+    ordinary process exceptions — and :meth:`Engine.run` returns cleanly with
+    the exception's value (its first argument, if any).
+    """
+
+    @property
+    def value(self) -> Any:
+        return self.args[0] if self.args else None
 
 
 class EventCancelled(Exception):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
-from .events import Event, Interrupt
+from .events import Event, Interrupt, StopSimulation
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Engine
@@ -102,6 +102,10 @@ class Process(Event):
             # An un-handled interrupt terminates the process as failed.
             self.fail(exc)
             return
+        except StopSimulation:
+            # A deliberate stop must reach the engine even when strict=False
+            # would swallow an ordinary process exception.
+            raise
         except BaseException as exc:
             if self.engine.strict:
                 raise

@@ -1,0 +1,19 @@
+"""Batch sweep engine: run the pipeline over many scenarios, in parallel."""
+
+from .results import SweepRecord, append_jsonl, load_jsonl, summary_rows
+from .runner import (
+    DEFAULT_BASELINES,
+    DEFAULT_CACHE_DIR,
+    SweepResult,
+    cache_path,
+    code_version,
+    run_scenario,
+    run_sweep,
+)
+
+__all__ = [
+    "SweepRecord", "append_jsonl", "load_jsonl", "summary_rows",
+    "SweepResult", "run_sweep", "run_scenario",
+    "cache_path", "code_version",
+    "DEFAULT_CACHE_DIR", "DEFAULT_BASELINES",
+]

@@ -1,0 +1,86 @@
+"""Sweep result records, the JSONL result store and summary tables."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SweepRecord", "append_jsonl", "load_jsonl", "summary_rows"]
+
+
+@dataclass
+class SweepRecord:
+    """Outcome of running (or cache-loading) one scenario of a sweep."""
+
+    scenario: str
+    family: str
+    scenario_hash: str
+    code_version: str
+    status: str = "ok"                     # "ok" | "error"
+    cached: bool = False
+    elapsed_s: float = 0.0
+    #: Flat pipeline digest (:meth:`repro.pipeline.PipelineResult.summary`).
+    summary: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "SweepRecord":
+        data = json.loads(line)
+        return cls(**{k: data.get(k) for k in cls.__dataclass_fields__})
+
+
+def append_jsonl(path: str, records: Sequence[SweepRecord]) -> None:
+    """Append ``records`` to the JSONL result store at ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record.to_json() + "\n")
+
+
+def load_jsonl(path: str) -> List[SweepRecord]:
+    """All records of the JSONL result store at ``path``."""
+    records: List[SweepRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SweepRecord.from_json(line))
+    return records
+
+
+def summary_rows(records: Sequence[SweepRecord]) -> List[Dict[str, object]]:
+    """One flat table row per record (for :func:`analysis.report.render_table`)."""
+    rows: List[Dict[str, object]] = []
+    for record in sorted(records, key=lambda r: r.scenario):
+        row: Dict[str, object] = {
+            "scenario": record.scenario,
+            "family": record.family,
+            "status": record.status + (" (cached)" if record.cached else ""),
+        }
+        summary = record.summary or {}
+        row.update({
+            "hosts": summary.get("hosts", ""),
+            "cliques": summary.get("cliques", ""),
+            "collisions": summary.get("collisions", ""),
+            "harmful": summary.get("harmful_collisions", ""),
+            "completeness": (round(summary["completeness"], 3)
+                             if "completeness" in summary else ""),
+            "bw_err": (round(summary["bandwidth_error"], 3)
+                       if "bandwidth_error" in summary else ""),
+            "worst_period_s": (round(summary["worst_period_s"], 1)
+                               if "worst_period_s" in summary else ""),
+            "measurements": summary.get("measurements", ""),
+            "elapsed_s": round(record.elapsed_s, 3),
+        })
+        rows.append(row)
+    return rows

@@ -1,0 +1,221 @@
+"""The parallel sweep runner.
+
+:func:`run_sweep` shards a list of registered scenarios across a
+``multiprocessing`` pool, runs the full map → plan → quality pipeline per
+scenario (:func:`repro.pipeline.run_pipeline`), caches each result on disk
+keyed by scenario content hash + code version, and aggregates the outcomes
+into a JSONL result store plus summary rows.
+
+Cache layout (one file per scenario × code state)::
+
+    <cache_dir>/<scenario>-<scenario_hash[:12]>-<code_version[:12]>.json
+
+A cached scenario is *not* re-run unless ``rerun=True``; editing any source
+file under ``src/repro`` changes the code version and invalidates the whole
+cache, editing a scenario's parameters invalidates that scenario only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import render_table
+from ..pipeline import run_pipeline
+from ..scenarios import Scenario, get_scenario, list_scenarios
+from .results import SweepRecord, append_jsonl, summary_rows
+
+__all__ = ["SweepResult", "code_version", "cache_path", "run_scenario",
+           "run_sweep", "DEFAULT_CACHE_DIR", "DEFAULT_BASELINES"]
+
+DEFAULT_CACHE_DIR = ".sweep-cache"
+#: Baselines evaluated per scenario; a subset of the CLI ``quality`` set to
+#: keep per-scenario cost dominated by the ENV pipeline itself.
+DEFAULT_BASELINES: Tuple[str, ...] = ("global-clique", "subnet")
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """SHA-256 over every source file of the ``repro`` package.
+
+    Any code change invalidates previously cached sweep results.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    sources: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        sources.extend(os.path.join(dirpath, f)
+                       for f in sorted(filenames) if f.endswith(".py"))
+    for source in sources:
+        digest.update(os.path.relpath(source, package_root).encode("utf-8"))
+        with open(source, "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def cache_path(cache_dir: str, scenario_name: str) -> str:
+    """The cache file a result for ``scenario_name`` lives in."""
+    scenario = get_scenario(scenario_name)
+    return os.path.join(
+        cache_dir,
+        f"{scenario.name}-{scenario.content_hash[:12]}-{code_version()[:12]}.json")
+
+
+def run_scenario(scenario_or_name: "Scenario | str",
+                 period_s: float = 60.0,
+                 baselines: Sequence[str] = DEFAULT_BASELINES) -> SweepRecord:
+    """Build one scenario, run the pipeline, return its record (never raises).
+
+    Accepts a :class:`Scenario` directly (what the pool workers receive, so a
+    spawn-started worker never has to consult the parent's registry) or a
+    registered scenario name.
+    """
+    start = time.perf_counter()
+    name = (scenario_or_name.name if isinstance(scenario_or_name, Scenario)
+            else scenario_or_name)
+    scenario = None
+    try:
+        scenario = (scenario_or_name if isinstance(scenario_or_name, Scenario)
+                    else get_scenario(scenario_or_name))
+        platform = scenario.build()
+        result = run_pipeline(platform, period_s=period_s, baselines=baselines)
+        return SweepRecord(
+            scenario=scenario.name,
+            family=scenario.family,
+            scenario_hash=scenario.content_hash,
+            code_version=code_version(),
+            status="ok",
+            elapsed_s=time.perf_counter() - start,
+            summary=result.summary(),
+        )
+    except Exception:
+        return SweepRecord(
+            scenario=name,
+            family=scenario.family if scenario else "unknown",
+            scenario_hash=scenario.content_hash if scenario else "",
+            code_version=code_version(),
+            status="error",
+            elapsed_s=time.perf_counter() - start,
+            error=traceback.format_exc(),
+        )
+
+
+def _worker(args: Tuple[Scenario, float, Tuple[str, ...]]) -> SweepRecord:
+    scenario, period_s, baselines = args
+    return run_scenario(scenario, period_s=period_s, baselines=baselines)
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of one :func:`run_sweep` invocation."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+    out_path: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def errors(self) -> List[SweepRecord]:
+        return [r for r in self.records if not r.ok]
+
+    def record_for(self, scenario: str) -> SweepRecord:
+        for record in self.records:
+            if record.scenario == scenario:
+                return record
+        raise KeyError(scenario)
+
+    def summary_table(self) -> str:
+        return render_table(summary_rows(self.records))
+
+
+def _load_cached(path: str) -> Optional[SweepRecord]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = SweepRecord.from_json(handle.read())
+    except (OSError, ValueError, TypeError):
+        return None
+    # A cached failure is not worth keeping: re-run the scenario.
+    return record if record.ok else None
+
+
+def run_sweep(names: Optional[Sequence[str]] = None,
+              pattern: Optional[str] = None,
+              jobs: int = 1,
+              cache_dir: str = DEFAULT_CACHE_DIR,
+              rerun: bool = False,
+              out_path: Optional[str] = None,
+              period_s: float = 60.0,
+              baselines: Sequence[str] = DEFAULT_BASELINES) -> SweepResult:
+    """Run the pipeline over many scenarios, with caching and parallelism.
+
+    Parameters
+    ----------
+    names:
+        Explicit scenario names; defaults to every registered scenario.
+    pattern:
+        Substring filter on name/family/tags, applied to the selection.
+    jobs:
+        Worker processes; ``1`` runs in-process (easier to debug/profile).
+    cache_dir:
+        Where per-scenario result files live; created on demand.
+    rerun:
+        Ignore (and overwrite) existing cache entries.
+    out_path:
+        JSONL result store to append this run's records to; defaults to
+        ``<cache_dir>/results.jsonl``.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    start = time.perf_counter()
+    if names is None:
+        selected = [s.name for s in list_scenarios(pattern)]
+    else:
+        selected = [get_scenario(n).name for n in names]
+        if pattern:
+            selected = [n for n in selected
+                        if get_scenario(n).matches(pattern)]
+    if not selected:
+        raise ValueError("no scenarios selected "
+                         f"(pattern={pattern!r}, names={names!r})")
+    os.makedirs(cache_dir, exist_ok=True)
+
+    records: Dict[str, SweepRecord] = {}
+    todo: List[str] = []
+    for name in selected:
+        cached = None if rerun else _load_cached(cache_path(cache_dir, name))
+        if cached is not None:
+            cached.cached = True
+            records[name] = cached
+        else:
+            todo.append(name)
+
+    job_args = [(get_scenario(name), period_s, tuple(baselines))
+                for name in todo]
+    if jobs == 1 or len(todo) <= 1:
+        fresh = [_worker(args) for args in job_args]
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(todo))) as pool:
+            fresh = list(pool.imap_unordered(_worker, job_args))
+
+    for record in fresh:
+        records[record.scenario] = record
+        if record.ok:
+            with open(cache_path(cache_dir, record.scenario), "w",
+                      encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+
+    ordered = [records[name] for name in selected]
+    out_path = out_path or os.path.join(cache_dir, "results.jsonl")
+    append_jsonl(out_path, ordered)
+    return SweepResult(records=ordered, out_path=out_path,
+                       elapsed_s=time.perf_counter() - start)

@@ -1,0 +1,195 @@
+"""Tests of the scenario registry and the scenario-suite generators."""
+
+import pytest
+
+from repro.env import map_platform
+from repro.gridml import read_gridml, write_gridml
+from repro.netsim import (
+    CampusSpec,
+    DegradedSpec,
+    FatTreeSpec,
+    RingSpec,
+    StarSpec,
+    WanGridSpec,
+    generate_campus,
+    generate_degraded,
+    generate_fat_tree,
+    generate_ring,
+    generate_star,
+    generate_wan_grid,
+    ground_truth_groups,
+    platform_allows,
+)
+from repro.scenarios import Scenario, get_scenario, list_scenarios
+from repro.scenarios.registry import _REGISTRY, register_scenario
+
+import networkx as nx
+
+
+class TestRegistry:
+    def test_catalog_holds_at_least_ten_scenarios(self):
+        assert len(list_scenarios()) >= 10
+
+    def test_scenario_names_unique_and_sorted(self):
+        names = [s.name for s in list_scenarios()]
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_content_hashes_are_stable_and_distinct(self):
+        scenarios = list_scenarios()
+        hashes = [s.content_hash for s in scenarios]
+        assert len(set(hashes)) == len(hashes)
+        for scenario in scenarios:
+            assert scenario.content_hash == scenario.content_hash
+            assert len(scenario.content_hash) == 64
+
+    def test_hash_depends_on_params_not_builder(self):
+        a = Scenario(name="x", family="f", params=(("seed", 1),))
+        b = Scenario(name="x", family="f", params=(("seed", 2),))
+        c = Scenario(name="x", family="f", params=(("seed", 1),),
+                     builder=lambda seed: None)
+        assert a.content_hash != b.content_hash
+        assert a.content_hash == c.content_hash
+
+    def test_duplicate_registration_rejected(self):
+        existing = list_scenarios()[0].name
+        with pytest.raises(ValueError, match="duplicate"):
+            register_scenario(existing, family="dup")(lambda: None)
+
+    def test_unserialisable_params_rejected(self):
+        with pytest.raises(TypeError):
+            register_scenario("bad-params", family="bad",
+                              fn=lambda: None)(lambda fn: None)
+        assert "bad-params" not in _REGISTRY
+
+    def test_get_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_filter_matches_name_family_and_tags(self):
+        assert any(s.name == "wan-grid-2x2" for s in list_scenarios("wan"))
+        assert all("star" == s.family for s in list_scenarios("star"))
+        smoke = list_scenarios("smoke")
+        assert len(smoke) >= 4
+        assert all("smoke" in s.tags for s in smoke)
+
+    def test_build_constructs_a_fresh_platform(self):
+        scenario = get_scenario("star-hub-8")
+        p1, p2 = scenario.build(), scenario.build()
+        assert p1 is not p2
+        assert p1.host_names() == p2.host_names()
+
+
+def _seeded_platforms():
+    """A seeded loop over every generator family (the property-test corpus)."""
+    for seed in range(3):
+        yield generate_wan_grid(WanGridSpec(rows=2, cols=2, seed=seed))
+        yield generate_campus(CampusSpec(departments=3,
+                                         firewalled_departments=1, seed=seed))
+        yield generate_ring(RingSpec(sites=3 + seed, seed=seed))
+        yield generate_degraded(DegradedSpec(hosts_per_cluster=2 + seed))
+    yield generate_fat_tree(FatTreeSpec(pods=2, edges_per_pod=2,
+                                        hosts_per_edge=2))
+    yield generate_star(StarSpec(hosts=5, kind="hub"))
+    yield generate_star(StarSpec(hosts=5, kind="switch"))
+
+
+class TestGeneratorProperties:
+    @pytest.fixture(scope="class")
+    def platforms(self):
+        return list(_seeded_platforms())
+
+    def test_every_platform_is_connected_and_valid(self, platforms):
+        for platform in platforms:
+            assert platform.validate() == [], platform.name
+            assert nx.is_connected(platform.graph), platform.name
+
+    def test_symmetric_link_registration(self, platforms):
+        for platform in platforms:
+            for link in platform.links.values():
+                assert link.a in platform.nodes, (platform.name, link.name)
+                assert link.b in platform.nodes, (platform.name, link.name)
+                assert platform.graph.has_edge(link.a, link.b)
+                # The same link must be found from either endpoint.
+                assert platform.link_between(link.a, link.b) is \
+                    platform.link_between(link.b, link.a)
+
+    def test_ground_truth_covers_every_host_exactly_once(self, platforms):
+        for platform in platforms:
+            truth = ground_truth_groups(platform)
+            covered = [h for spec in truth.values()
+                       for h in sorted(spec["hosts"])]
+            assert sorted(covered) == platform.host_names(), platform.name
+
+    def test_every_host_pair_routes(self, platforms):
+        for platform in platforms:
+            hosts = platform.host_names()
+            anchor = hosts[0]
+            for other in hosts[1:]:
+                route = platform.route(anchor, other)
+                assert route.nodes[0] == anchor and route.nodes[-1] == other
+
+    def test_generation_is_deterministic(self):
+        a = generate_wan_grid(WanGridSpec(seed=42))
+        b = generate_wan_grid(WanGridSpec(seed=42))
+        assert a.host_names() == b.host_names()
+        assert sorted(a.links) == sorted(b.links)
+        for name, link in a.links.items():
+            assert b.links[name].bandwidth_mbps == link.bandwidth_mbps
+            assert b.links[name].latency_s == link.latency_s
+
+
+class TestGeneratorBehaviours:
+    def test_campus_firewall_blocks_non_gateway_hosts(self):
+        platform = generate_campus(CampusSpec(departments=3,
+                                              firewalled_departments=1,
+                                              seed=5))
+        truth = ground_truth_groups(platform)
+        firewalled = [spec for spec in truth.values() if spec["gateway"]]
+        open_specs = [spec for spec in truth.values() if not spec["gateway"]]
+        assert firewalled and open_specs
+        gateway = firewalled[0]["gateway"]
+        inmate = next(h for h in sorted(firewalled[0]["hosts"])
+                      if h != gateway)
+        outsider = sorted(open_specs[0]["hosts"])[0]
+        assert platform_allows(platform, gateway, outsider)
+        assert not platform_allows(platform, inmate, outsider)
+
+    def test_degraded_routes_are_asymmetric(self):
+        platform = generate_degraded(DegradedSpec())
+        truth = ground_truth_groups(platform)
+        src = sorted(truth["a-switch"]["hosts"])[0]
+        dst = sorted(truth["b-switch"]["hosts"])[0]
+        assert not platform.routes_are_symmetric(src, dst)
+        # The forced forward path crosses the slow detour.
+        assert "detour-router" in platform.route(src, dst).nodes
+        assert "detour-router" not in platform.route(dst, src).nodes
+
+    def test_degraded_vlans_mismatch_physical_segments(self):
+        platform = generate_degraded(DegradedSpec())
+        vlans = platform.vlan_plan
+        assert vlans.mismatches_physical(platform)
+
+    def test_wan_grid_backbone_is_heterogeneous(self):
+        platform = generate_wan_grid(WanGridSpec(rows=3, cols=3, seed=1))
+        backbone = [l.bandwidth_mbps for l in platform.links.values()
+                    if l.a.startswith("bb-") and l.b.startswith("bb-")]
+        assert len(set(backbone)) > 1
+
+
+class TestScenarioGridmlRoundTrip:
+    @pytest.mark.parametrize("name", ["star-hub-8", "fat-tree-2x2",
+                                      "degraded-asym", "campus-open",
+                                      "wan-grid-2x2"])
+    def test_mapped_view_roundtrips_through_gridml(self, name, tmp_path):
+        platform = get_scenario(name).build()
+        view = map_platform(platform, platform.host_names()[0])
+        path = tmp_path / f"{name}.xml"
+        write_gridml(view.to_gridml(), str(path))
+        parsed = read_gridml(str(path))
+        assert sorted(parsed.all_machine_names()) == view.hosts()
+        original = view.to_gridml()
+        assert [n.label for n in parsed.all_networks()] == \
+            [n.label for n in original.all_networks()]
+        assert [n.network_type for n in parsed.all_networks()] == \
+            [n.network_type for n in original.all_networks()]

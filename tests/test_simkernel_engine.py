@@ -8,6 +8,7 @@ from repro.simkernel import (
     Interrupt,
     RandomStreams,
     Resource,
+    StopSimulation,
     Store,
     Tracer,
     derive_seed,
@@ -74,6 +75,104 @@ class TestEngineBasics:
         eng = Engine()
         with pytest.raises(RuntimeError):
             _ = eng.event().value
+
+
+class TestRunUntilTimeBound:
+    def test_later_events_stay_queued_and_resume(self):
+        eng = Engine()
+        fired = []
+        eng.timeout(1.0, value="early").add_callback(
+            lambda ev: fired.append(ev.value))
+        eng.timeout(5.0, value="late").add_callback(
+            lambda ev: fired.append(ev.value))
+        eng.run(until=2.0)
+        assert fired == ["early"]
+        assert eng.now == pytest.approx(2.0)
+        # The time bound pauses, it does not cancel: a later run continues.
+        eng.run()
+        assert fired == ["early", "late"]
+        assert eng.now == pytest.approx(5.0)
+
+    def test_until_exact_event_time_fires_the_event(self):
+        eng = Engine()
+        fired = []
+        eng.timeout(3.0).add_callback(lambda ev: fired.append(eng.now))
+        eng.run(until=3.0)
+        assert fired == [3.0]
+        assert eng.now == pytest.approx(3.0)
+
+    def test_until_with_empty_queue_advances_clock(self):
+        eng = Engine()
+        eng.run(until=7.0)
+        assert eng.now == pytest.approx(7.0)
+
+    def test_until_now_is_a_noop(self):
+        eng = Engine(start_time=2.0)
+        eng.timeout(1.0)
+        eng.run(until=2.0)
+        assert eng.now == pytest.approx(2.0)
+
+
+class TestStopSimulation:
+    @pytest.mark.parametrize("strict", [True, False])
+    def test_stop_from_process_terminates_run(self, strict):
+        """Regression: strict=False must not swallow StopSimulation."""
+        eng = Engine(strict=strict)
+        fired = []
+        eng.timeout(10.0).add_callback(lambda ev: fired.append("too late"))
+
+        def stopper():
+            yield eng.timeout(1.0)
+            raise StopSimulation("done")
+
+        eng.process(stopper())
+        assert eng.run() == "done"
+        assert eng.now == pytest.approx(1.0)
+        assert fired == []
+
+    def test_stop_without_value_returns_none(self):
+        eng = Engine(strict=False)
+
+        def stopper():
+            yield eng.timeout(1.0)
+            raise StopSimulation
+
+        eng.process(stopper())
+        assert eng.run() is None
+
+    def test_stop_from_callback_terminates_run(self):
+        def boom(_event):
+            raise StopSimulation("from-callback")
+
+        eng = Engine(strict=False)
+        eng.timeout(2.0).add_callback(boom)
+        eng.timeout(5.0)
+        assert eng.run() == "from-callback"
+        assert eng.now == pytest.approx(2.0)
+
+    def test_run_all_honours_stop(self):
+        eng = Engine(strict=False)
+
+        def stopper():
+            yield eng.timeout(1.0)
+            raise StopSimulation
+
+        eng.process(stopper())
+        eng.timeout(50.0)
+        eng.run_all()
+        assert eng.now == pytest.approx(1.0)
+
+    def test_ordinary_exception_still_swallowed_when_nonstrict(self):
+        eng = Engine(strict=False)
+
+        def boom():
+            yield eng.timeout(1.0)
+            raise ValueError("boom")
+
+        eng.process(boom())
+        eng.timeout(2.0)
+        eng.run()  # must not raise
+        assert eng.now == pytest.approx(2.0)
 
 
 class TestProcesses:

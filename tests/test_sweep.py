@@ -1,0 +1,177 @@
+"""Tests of the sweep engine: sharding, caching, result store and CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import scenario_names
+from repro.scenarios.registry import _REGISTRY, register_scenario
+from repro.sweep import (
+    SweepRecord,
+    append_jsonl,
+    cache_path,
+    code_version,
+    load_jsonl,
+    run_scenario,
+    run_sweep,
+    summary_rows,
+)
+
+SMOKE = "smoke"
+
+
+class TestCodeVersion:
+    def test_stable_hex_digest(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 64
+        int(code_version(), 16)
+
+
+class TestRunScenario:
+    def test_ok_record_carries_pipeline_summary(self):
+        record = run_scenario("star-hub-8")
+        assert record.ok and record.error is None
+        assert record.family == "star"
+        assert record.summary["hosts"] == 8
+        assert record.summary["completeness"] == pytest.approx(1.0)
+        assert set(record.summary["timings"]) == {"map", "plan", "quality"}
+
+    def test_builder_failure_yields_error_record(self):
+        @register_scenario("test-broken", family="test-internal")
+        def _broken():
+            raise RuntimeError("deliberately broken scenario")
+
+        try:
+            record = run_scenario("test-broken")
+            assert not record.ok
+            assert "deliberately broken" in record.error
+            assert record.summary is None
+        finally:
+            del _REGISTRY["test-broken"]
+
+
+class TestRunSweep:
+    def test_smoke_sweep_serial(self, tmp_path):
+        result = run_sweep(pattern=SMOKE, jobs=1, cache_dir=str(tmp_path))
+        assert len(result.records) >= 4
+        assert result.errors == []
+        assert result.cache_hits == 0
+        stored = load_jsonl(result.out_path)
+        assert [r.scenario for r in stored] == \
+            [r.scenario for r in result.records]
+
+    def test_second_invocation_hits_cache_near_instant(self, tmp_path):
+        first = run_sweep(pattern=SMOKE, jobs=1, cache_dir=str(tmp_path))
+        second = run_sweep(pattern=SMOKE, jobs=1, cache_dir=str(tmp_path))
+        assert second.cache_hits == len(second.records) == len(first.records)
+        assert all(r.cached for r in second.records)
+        # Cached sweeps do no mapping work at all: near-instant.
+        assert second.elapsed_s < max(0.5, first.elapsed_s / 4)
+
+    def test_rerun_ignores_cache(self, tmp_path):
+        run_sweep(pattern=SMOKE, jobs=1, cache_dir=str(tmp_path))
+        again = run_sweep(pattern=SMOKE, jobs=1, cache_dir=str(tmp_path),
+                          rerun=True)
+        assert again.cache_hits == 0
+        assert all(not r.cached for r in again.records)
+
+    def test_parallel_sweep_over_full_catalog(self, tmp_path):
+        names = scenario_names()
+        assert len(names) >= 10
+        result = run_sweep(names=names, jobs=4, cache_dir=str(tmp_path))
+        assert result.errors == []
+        assert [r.scenario for r in result.records] == names
+        assert os.path.exists(result.out_path)
+        table = result.summary_table()
+        for name in names:
+            assert name in table
+        # Acceptance: the follow-up invocation is served from the cache.
+        warm = run_sweep(names=names, jobs=4, cache_dir=str(tmp_path))
+        assert warm.cache_hits == len(names)
+        assert warm.elapsed_s < max(0.5, result.elapsed_s / 4)
+
+    def test_explicit_names_and_pattern_compose(self, tmp_path):
+        result = run_sweep(names=["star-hub-8", "ring-4"], pattern="star",
+                           jobs=1, cache_dir=str(tmp_path))
+        assert [r.scenario for r in result.records] == ["star-hub-8"]
+
+    def test_empty_selection_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no scenarios"):
+            run_sweep(pattern="match-nothing-at-all", cache_dir=str(tmp_path))
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(pattern=SMOKE, jobs=0, cache_dir=str(tmp_path))
+
+    def test_cache_key_includes_scenario_hash_and_code_version(self, tmp_path):
+        path = cache_path(str(tmp_path), "star-hub-8")
+        base = os.path.basename(path)
+        assert base.startswith("star-hub-8-")
+        assert code_version()[:12] in base
+
+    def test_error_records_are_not_cached(self, tmp_path):
+        @register_scenario("test-flaky", family="test-internal")
+        def _flaky():
+            raise RuntimeError("boom")
+
+        try:
+            result = run_sweep(names=["test-flaky"], cache_dir=str(tmp_path))
+            assert len(result.errors) == 1
+            assert not os.path.exists(cache_path(str(tmp_path), "test-flaky"))
+            # The failure is retried, not served from a poisoned cache.
+            retry = run_sweep(names=["test-flaky"], cache_dir=str(tmp_path))
+            assert retry.cache_hits == 0
+        finally:
+            del _REGISTRY["test-flaky"]
+
+
+class TestResultStore:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = str(tmp_path / "store" / "results.jsonl")
+        records = [
+            SweepRecord(scenario="a", family="f", scenario_hash="h1",
+                        code_version="c", elapsed_s=0.5,
+                        summary={"hosts": 3}),
+            SweepRecord(scenario="b", family="f", scenario_hash="h2",
+                        code_version="c", status="error", error="trace"),
+        ]
+        append_jsonl(path, records)
+        append_jsonl(path, records[:1])
+        loaded = load_jsonl(path)
+        assert len(loaded) == 3
+        assert loaded[0] == records[0]
+        assert loaded[1].status == "error"
+
+    def test_summary_rows_tolerate_missing_summary(self):
+        rows = summary_rows([
+            SweepRecord(scenario="b", family="f", scenario_hash="h",
+                        code_version="c", status="error"),
+            SweepRecord(scenario="a", family="f", scenario_hash="h",
+                        code_version="c", cached=True,
+                        summary={"hosts": 4, "completeness": 1.0}),
+        ])
+        assert [r["scenario"] for r in rows] == ["a", "b"]
+        assert rows[0]["status"] == "ok (cached)"
+        assert rows[1]["hosts"] == ""
+
+
+class TestSweepCLI:
+    def test_scenarios_command_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ens-lyon", "wan-grid-2x2", "degraded-asym"):
+            assert name in out
+        assert "scenarios registered" in out
+
+    def test_scenarios_filter_no_match(self, capsys):
+        assert main(["scenarios", "--filter", "match-nothing"]) == 1
+
+    def test_sweep_command_runs_and_caches(self, capsys, tmp_path):
+        args = ["sweep", "--jobs", "2", "--filter", SMOKE,
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 served from cache" in out
+        assert "results appended to" in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 served from cache" in out
