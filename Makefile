@@ -5,15 +5,21 @@ PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
 
-.PHONY: verify tier1 smoke-sweep sweep bench clean
+.PHONY: verify tier1 smoke-sweep smoke-sweep-fresh sweep bench clean
 
 verify: tier1 smoke-sweep
 
 tier1:
 	$(PYTEST) -x -q
 
-# Four small scenarios (tagged "smoke"), sharded over two workers.
+# Four small scenarios (tagged "smoke"), sharded over two workers.  Cached
+# results may be served (safe: keys embed a hash of every source file), so
+# repeated verifies on unchanged code — and CI's restored .sweep-cache —
+# skip the redundant pipeline work.  `make smoke-sweep-fresh` forces re-runs.
 smoke-sweep:
+	$(REPRO) sweep --jobs 2 --filter smoke --cache-dir .sweep-cache
+
+smoke-sweep-fresh:
 	$(REPRO) sweep --jobs 2 --filter smoke --cache-dir .sweep-cache --rerun
 
 # The full catalog; cached results are reused (use --rerun to force).

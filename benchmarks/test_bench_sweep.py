@@ -24,15 +24,23 @@ def test_bench_sweep_per_scenario_throughput(benchmark, tmp_path):
         rounds=1, iterations=1)
 
     assert result.errors == []
-    rows = [{
-        "scenario": record.scenario,
-        "hosts": record.summary["hosts"],
-        "measurements": record.summary["measurements"],
-        "map_s": round(record.summary["timings"]["map"], 3),
-        "plan_s": round(record.summary["timings"]["plan"], 3),
-        "quality_s": round(record.summary["timings"]["quality"], 3),
-        "total_s": round(record.elapsed_s, 3),
-    } for record in sorted(result.records, key=lambda r: -r.elapsed_s)]
+    # Static records carry per-stage timings; dynamic (replay) records carry
+    # epoch counts instead — report both shapes in one table.
+    rows = []
+    for record in sorted(result.records, key=lambda r: -r.elapsed_s):
+        timings = record.summary.get("timings", {})
+        rows.append({
+            "scenario": record.scenario,
+            "hosts": record.summary["hosts"],
+            "epochs": record.summary.get("epochs", "-"),
+            "measurements": record.summary["measurements"],
+            "map_s": (round(timings["map"], 3) if "map" in timings else "-"),
+            "plan_s": (round(timings["plan"], 3)
+                       if "plan" in timings else "-"),
+            "quality_s": (round(timings["quality"], 3)
+                          if "quality" in timings else "-"),
+            "total_s": round(record.elapsed_s, 3),
+        })
     print(f"\n[SWEEP] per-scenario pipeline cost over {len(names)} scenarios "
           f"({len(names) / result.elapsed_s:.1f} scenarios/s serial)")
     print(render_table(rows))

@@ -12,7 +12,10 @@ the NWS configuration, check its quality):
 * ``monitor``   — deploy the simulated NWS, run it, and print forecasts;
 * ``scenarios`` — list the registered evaluation scenarios;
 * ``sweep``     — run map → plan → quality over many scenarios in parallel,
-                  with on-disk result caching.
+                  with on-disk result caching;
+* ``dynamics``  — time-varying platforms: ``list`` the dynamic scenarios,
+                  ``replay`` one churn schedule epoch by epoch, or ``run``
+                  the whole dynamic family through the sweep engine.
 
 The platform of the single-run commands is either the paper's ENS-Lyon LAN
 (``--platform ens-lyon``, default) or a seeded synthetic constellation
@@ -28,13 +31,14 @@ from typing import List, Optional, Tuple
 
 from .analysis import render_env_tree, render_plan, render_table
 from .core import plan_from_view, render_config
+from .dynamics import list_dynamic_scenarios, run_replay
 from .env import map_ens_lyon, map_platform
 from .gridml import write_gridml
 from .netsim import SyntheticSpec, build_ens_lyon, generate_constellation
 from .nws import NWSClient, NWSSystem
 from .pipeline import BASELINE_PLANNERS, run_pipeline
 from .scenarios import list_scenarios
-from .sweep import DEFAULT_CACHE_DIR, run_sweep
+from .sweep import DEFAULT_CACHE_DIR, records_json, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -51,6 +55,38 @@ def _map_view(platform, args: argparse.Namespace):
         return map_ens_lyon(platform, master=args.master or "the-doors")
     master = args.master or platform.host_names()[0]
     return map_platform(platform, master)
+
+
+def _add_forecast_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--forecast-window", type=int, default=10,
+                        metavar="N",
+                        help="sliding window of the windowed forecasters "
+                             "(default: 10)")
+    parser.add_argument("--forecast-alpha", type=float, default=0.3,
+                        metavar="A",
+                        help="smoothing factor of the exponential forecaster "
+                             "(default: 0.3)")
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``sweep`` and ``dynamics run``."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1)")
+    parser.add_argument("--filter", default=None, metavar="PATTERN",
+                        help="substring filter on name/family/tags")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"result cache directory (default: "
+                             f"{DEFAULT_CACHE_DIR})")
+    parser.add_argument("--rerun", action="store_true",
+                        help="ignore cached results and re-run everything")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="JSONL result store "
+                             "(default: <cache-dir>/results.jsonl)")
+    parser.add_argument("--period", type=float, default=60.0,
+                        help="target measurement period per clique (seconds)")
+    parser.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="summary output format (default: table)")
 
 
 def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
@@ -97,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_monitor.add_argument("--pairs", nargs="*", default=[],
                            metavar="SRC:DST",
                            help="host pairs to query (default: a small sample)")
+    _add_forecast_arguments(p_monitor)
 
     p_scenarios = sub.add_parser(
         "scenarios", help="list the registered evaluation scenarios")
@@ -105,23 +142,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep", help="run map → plan → quality over many scenarios")
-    p_sweep.add_argument("--jobs", type=int, default=1,
-                         help="worker processes (default: 1)")
-    p_sweep.add_argument("--filter", default=None, metavar="PATTERN",
-                         help="substring filter on name/family/tags")
-    p_sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                         help=f"result cache directory (default: "
-                              f"{DEFAULT_CACHE_DIR})")
-    p_sweep.add_argument("--rerun", action="store_true",
-                         help="ignore cached results and re-run everything")
-    p_sweep.add_argument("--out", default=None, metavar="PATH",
-                         help="JSONL result store "
-                              "(default: <cache-dir>/results.jsonl)")
-    p_sweep.add_argument("--period", type=float, default=60.0,
-                         help="target measurement period per clique (seconds)")
+    _add_sweep_arguments(p_sweep)
     p_sweep.add_argument("--baselines", nargs="*", default=None,
                          choices=sorted(BASELINE_PLANNERS),
-                         help="baseline planners to evaluate per scenario")
+                         help="baseline planners to evaluate per scenario "
+                              "(static scenarios only; dynamic replays "
+                              "have no baseline stage)")
+
+    p_dynamics = sub.add_parser(
+        "dynamics", help="time-varying platforms: replay churn schedules")
+    dyn_sub = p_dynamics.add_subparsers(dest="dynamics_command", required=True)
+
+    d_list = dyn_sub.add_parser("list", help="list the dynamic scenarios")
+    d_list.add_argument("--filter", default=None, metavar="PATTERN",
+                        help="substring filter on name/family/tags")
+
+    d_replay = dyn_sub.add_parser(
+        "replay", help="replay one dynamic scenario epoch by epoch")
+    d_replay.add_argument("--scenario", required=True,
+                          help="name of a registered dynamic scenario")
+    d_replay.add_argument("--epochs", type=int, default=None,
+                          help="override the scenario's schedule length")
+    d_replay.add_argument("--period", type=float, default=60.0,
+                          help="target measurement period per clique (seconds)")
+    d_replay.add_argument("--drift-threshold", type=float, default=0.25,
+                          help="relative forecast deviation that flags drift "
+                               "(default: 0.25)")
+    d_replay.add_argument("--oracle", action="store_true",
+                          help="also run the full-remap-every-epoch oracle "
+                               "track and report the cost/quality comparison")
+    _add_forecast_arguments(d_replay)
+
+    d_run = dyn_sub.add_parser(
+        "run", help="sweep every dynamic scenario (cached, epoch-aware)")
+    _add_sweep_arguments(d_run)
     return parser
 
 
@@ -172,14 +226,17 @@ def _parse_pairs(raw: List[str]) -> List[Tuple[str, str]]:
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
     platform = _build_platform(args)
-    view = _map_view(platform, args)
-    plan = plan_from_view(view, period_s=20.0)
-    system = NWSSystem(platform, plan)
+    result = run_pipeline(platform, period_s=20.0, baselines=(),
+                          mapper=lambda p: _map_view(p, args),
+                          forecast_window=args.forecast_window,
+                          forecast_alpha=args.forecast_alpha,
+                          evaluate=False)
+    system = NWSSystem(platform, result.plan, config=result.nws_config())
     system.run(args.duration)
     client = NWSClient(system)
     pairs = _parse_pairs(args.pairs)
     if not pairs:
-        hosts = sorted(plan.hosts)
+        hosts = sorted(result.plan.hosts)
         pairs = [(hosts[0], h) for h in hosts[1:4]]
     rows = []
     for src, dst in pairs:
@@ -214,6 +271,22 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sweep_result(result, jobs: int, output_format: str) -> int:
+    """Render one sweep outcome; non-zero exit when any record errored."""
+    if output_format == "json":
+        print(records_json(result.records))
+    else:
+        print(result.summary_table())
+        print(f"\nswept {len(result.records)} scenarios in "
+              f"{result.elapsed_s:.2f}s with {jobs} job(s); "
+              f"{result.cache_hits} served from cache")
+        print(f"results appended to {result.out_path}")
+    for record in result.errors:
+        print(f"\nerror in scenario {record.scenario}:\n{record.error}",
+              file=sys.stderr)
+    return 1 if result.errors else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.baselines is not None:
@@ -221,15 +294,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = run_sweep(pattern=args.filter, jobs=args.jobs,
                        cache_dir=args.cache_dir, rerun=args.rerun,
                        out_path=args.out, period_s=args.period, **kwargs)
-    print(result.summary_table())
-    print(f"\nswept {len(result.records)} scenarios in "
-          f"{result.elapsed_s:.2f}s with {args.jobs} job(s); "
-          f"{result.cache_hits} served from cache")
-    print(f"results appended to {result.out_path}")
-    for record in result.errors:
-        print(f"\nerror in scenario {record.scenario}:\n{record.error}",
-              file=sys.stderr)
-    return 1 if result.errors else 0
+    return _print_sweep_result(result, args.jobs, args.format)
+
+
+def _cmd_dynamics(args: argparse.Namespace) -> int:
+    if args.dynamics_command == "list":
+        scenarios = list_dynamic_scenarios(args.filter)
+        if not scenarios:
+            print(f"no dynamic scenarios match {args.filter!r}")
+            return 1
+        rows = [{
+            "scenario": s.name,
+            "base": s.base,
+            "tags": ",".join(s.tags) or "-",
+            "epochs": s.param_dict.get("epochs", ""),
+            "hash": s.content_hash[:12],
+            "description": s.description,
+        } for s in scenarios]
+        print(render_table(rows))
+        print(f"\n{len(scenarios)} dynamic scenarios registered")
+        return 0
+
+    if args.dynamics_command == "replay":
+        result = run_replay(args.scenario, epochs=args.epochs,
+                            period_s=args.period,
+                            forecast_window=args.forecast_window,
+                            forecast_alpha=args.forecast_alpha,
+                            drift_threshold=args.drift_threshold,
+                            oracle=args.oracle)
+        print(render_table([r.as_row() for r in result.records]))
+        counts = result.remap_counts
+        print(f"\nreplayed {args.scenario} (base {result.base}, master "
+              f"{result.master}) over {len(result.records)} epochs in "
+              f"{result.elapsed_s:.2f}s")
+        print(f"remaps: {counts.get('incremental', 0)} incremental, "
+              f"{counts.get('full', 0)} full, {counts.get('none', 0)} quiet; "
+              f"mean plan stability {result.mean_stability:.3f}")
+        print(f"maintenance cost: {result.remap_measurements} measurements "
+              f"(bootstrap mapping: {result.bootstrap_measurements})")
+        if args.oracle and result.oracle_measurements:
+            gaps = result.quality_gaps()
+            remap_only = sum(r.remap_measurements for r in result.records)
+            monitor_only = result.remap_measurements - remap_only
+            print(f"oracle (full remap every epoch): "
+                  f"{result.oracle_measurements} measurements vs "
+                  f"{remap_only} incremental remap probes "
+                  f"({result.oracle_measurements / max(remap_only, 1):.1f}x) "
+                  f"+ {monitor_only} monitoring probes (piggyback on the "
+                  f"deployment's own measurement rounds)")
+            print(f"quality gap vs oracle: "
+                  f"completeness {gaps['completeness']:.4f}, "
+                  f"bw_err {gaps['bandwidth_error']:.4f}")
+        return 0
+
+    # "run": the dynamic family through the sweep engine (epoch-aware records)
+    names = [s.name for s in list_dynamic_scenarios(args.filter)]
+    if not names:
+        print(f"no dynamic scenarios match {args.filter!r}", file=sys.stderr)
+        return 1
+    result = run_sweep(names=names, jobs=args.jobs, cache_dir=args.cache_dir,
+                       rerun=args.rerun, out_path=args.out,
+                       period_s=args.period)
+    return _print_sweep_result(result, args.jobs, args.format)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -243,6 +369,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "monitor": _cmd_monitor,
         "scenarios": _cmd_scenarios,
         "sweep": _cmd_sweep,
+        "dynamics": _cmd_dynamics,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,48 @@
+"""Time-varying platforms and ENV deployment maintenance.
+
+The subsystem closes the monitor → detect → remap → replan loop the paper's
+deployment story implies but never automates:
+
+* :mod:`~repro.dynamics.churn` — declarative, seeded event schedules that
+  mutate a :class:`~repro.netsim.topology.Platform` between epochs;
+* :mod:`~repro.dynamics.monitor` — forecast-based drift detection over the
+  deployed plan's measured pairs;
+* :mod:`~repro.dynamics.remap` — incremental ENV updates (re-probe only the
+  drifted subtrees) with a full-remap fallback for structural changes;
+* :mod:`~repro.dynamics.replay` — the epoch runner, with an optional
+  full-remap-every-epoch oracle track;
+* :mod:`~repro.dynamics.scenarios` / :mod:`~repro.dynamics.catalog` — the
+  :class:`DynamicScenario` family registered alongside the static catalog.
+
+Importing the package loads the dynamic catalog, mirroring
+:mod:`repro.scenarios`.
+"""
+
+from .churn import (
+    ChurnDelta,
+    ChurnEvent,
+    ChurnSchedule,
+    ChurnSpec,
+    STRUCTURAL_KINDS,
+    apply_epoch,
+    generate_schedule,
+)
+from .monitor import DeploymentMonitor, DriftReport
+from .remap import RemapResult, full_remap, incremental_remap
+from .replay import EpochRecord, ReplayResult, plan_similarity, run_replay
+from .scenarios import (
+    DynamicScenario,
+    list_dynamic_scenarios,
+    register_dynamic_scenario,
+)
+from .catalog import load_dynamic_catalog  # noqa: F401 (populates registry)
+
+__all__ = [
+    "ChurnSpec", "ChurnEvent", "ChurnSchedule", "ChurnDelta",
+    "STRUCTURAL_KINDS", "generate_schedule", "apply_epoch",
+    "DeploymentMonitor", "DriftReport",
+    "RemapResult", "full_remap", "incremental_remap",
+    "EpochRecord", "ReplayResult", "run_replay", "plan_similarity",
+    "DynamicScenario", "register_dynamic_scenario", "list_dynamic_scenarios",
+    "load_dynamic_catalog",
+]

@@ -1,0 +1,76 @@
+"""The built-in dynamic-scenario catalog.
+
+Eight churn schedules layered on the PR-1 static catalog, chosen to exercise
+every branch of the maintenance loop:
+
+* pure condition drift (the incremental remapper's sweet spot),
+* link failures and repairs (full-remap fallback on re-routing),
+* host join/leave (membership churn),
+* route flaps (traceroute-visible path changes),
+* and mixes of the above.
+
+Like the static catalog, registration is idempotent: call
+:func:`load_dynamic_catalog` as often as needed.
+"""
+
+from __future__ import annotations
+
+from .scenarios import register_dynamic_scenario
+
+__all__ = ["load_dynamic_catalog"]
+
+
+def load_dynamic_catalog() -> None:
+    """(Re-)register every built-in dynamic scenario.  Idempotent."""
+    register_dynamic_scenario(
+        "dyn-wan-drift", base="wan-grid-3x2", tags=("drift",),
+        description="WAN grid with pure backbone bandwidth/latency drift",
+        epochs=12, seed=101, drift_rate=1.5,
+        drift_factor_range=(0.3, 2.5), latency_drift_share=0.25)
+
+    register_dynamic_scenario(
+        "dyn-wan-failures", base="wan-grid-2x2", tags=("failures",),
+        description="WAN grid with drift plus redundant-link failure/repair",
+        epochs=12, seed=37, drift_rate=0.8,
+        drift_factor_range=(0.5, 1.8),
+        failure_rate=0.35, repair_delay=2)
+
+    register_dynamic_scenario(
+        "dyn-campus-flap", base="campus-open", tags=("flaps",),
+        description="Open campus with route flaps over drifting links",
+        epochs=12, seed=59, drift_rate=0.7,
+        drift_factor_range=(0.5, 1.6), flap_rate=0.3)
+
+    register_dynamic_scenario(
+        "dyn-campus-churn", base="campus-open", tags=("membership",),
+        description="Open campus with hosts joining and leaving departments",
+        epochs=12, seed=71, drift_rate=0.5,
+        drift_factor_range=(0.6, 1.5),
+        join_rate=0.3, leave_rate=0.25)
+
+    register_dynamic_scenario(
+        "dyn-ring-degrade", base="ring-4", tags=("drift",),
+        description="WAN ring whose links progressively degrade",
+        epochs=10, seed=83, drift_rate=1.2,
+        drift_factor_range=(0.25, 1.1), latency_drift_share=0.2)
+
+    register_dynamic_scenario(
+        "dyn-hub-flash", base="star-hub-8", tags=("drift",),
+        description="Shared hub under flash-crowd style capacity swings",
+        epochs=10, seed=97, drift_rate=1.0,
+        drift_factor_range=(0.2, 3.0), latency_drift_share=0.0)
+
+    register_dynamic_scenario(
+        "dyn-fat-tree-joins", base="fat-tree-2x2", tags=("membership",),
+        description="Fat-tree LAN steadily gaining hosts on its edges",
+        epochs=10, seed=113, drift_rate=0.4,
+        drift_factor_range=(0.7, 1.4), join_rate=0.5)
+
+    register_dynamic_scenario(
+        "dyn-degraded-mixed", base="degraded-asym", tags=("mixed",),
+        description="Degraded platform with drift and route flaps combined",
+        epochs=10, seed=127, drift_rate=1.0,
+        drift_factor_range=(0.4, 2.0), flap_rate=0.25)
+
+
+load_dynamic_catalog()

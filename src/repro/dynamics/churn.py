@@ -1,0 +1,444 @@
+"""Declarative, seeded churn schedules that mutate a platform between epochs.
+
+A :class:`ChurnSpec` describes *how much* a platform changes per epoch (drift
+intensity, failure/repair rates, host join/leave rates, route flaps);
+:func:`generate_schedule` turns it into a concrete, deterministic
+:class:`ChurnSchedule` — a list of :class:`ChurnEvent` — by drawing targets
+and magnitudes from a seeded generator against the initial platform.
+
+Events are applied with :func:`apply_epoch`, which validates each event
+against the *current* platform state (an event whose target has since
+disappeared, or whose application would disconnect the platform, is skipped
+and reported as such).  The supported event kinds:
+
+``bandwidth_drift`` / ``latency_drift``
+    Multiply a link's (or a whole hub segment's) capacity/latency by a
+    factor.  Non-structural: routes are unchanged, only conditions move.
+``link_down`` / ``link_up``
+    Remove a redundant core link and restore it ``repair_delay`` epochs
+    later.  Structural: traffic re-routes around the failure.
+``host_leave`` / ``host_join``
+    Remove a leaf host, or attach a new host to an existing LAN segment.
+    Structural: the monitored host population changes.
+``route_flap``
+    Toggle a forced detour route between two hosts (asymmetric, like the
+    paper's §4.3 "Asymmetric routes").  Structural from the mapper's point
+    of view: traceroute paths change.  Note that the monitor, being purely
+    end-to-end, only notices a flap when it touches a pair it measures (or
+    shifts observed bandwidth/latency enough to register as drift).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..netsim.topology import Link, NodeKind, Platform
+
+__all__ = ["ChurnSpec", "ChurnEvent", "ChurnDelta", "ChurnSchedule",
+           "generate_schedule", "apply_epoch", "STRUCTURAL_KINDS"]
+
+#: Event kinds that change the platform's structure (membership or routing),
+#: as opposed to mere link-condition drift.
+STRUCTURAL_KINDS = frozenset({"link_down", "link_up", "host_leave",
+                              "host_join", "route_flap"})
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """How much a platform churns per epoch (all rates are per-epoch)."""
+
+    epochs: int = 12
+    seed: int = 0
+    #: Expected number of drift events per epoch (Poisson).
+    drift_rate: float = 1.0
+    #: Log-uniform multiplier range applied by one drift event.
+    drift_factor_range: Tuple[float, float] = (0.45, 1.8)
+    #: Fraction of drift events that hit latency instead of bandwidth.
+    latency_drift_share: float = 0.25
+    #: Probability of one redundant core link failing.
+    failure_rate: float = 0.0
+    #: Epochs until a failed link is repaired.
+    repair_delay: int = 2
+    #: Probability of one leaf host leaving.
+    leave_rate: float = 0.0
+    #: Probability of one new host joining an existing segment.
+    join_rate: float = 0.0
+    #: Probability of one route flap (forced detour toggled).
+    flap_rate: float = 0.0
+    #: Clamp for drifted bandwidths (Mbit/s).
+    min_bandwidth_mbps: float = 0.5
+    max_bandwidth_mbps: float = 40000.0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("a churn schedule needs at least one epoch")
+        lo, hi = self.drift_factor_range
+        if not 0 < lo <= hi:
+            raise ValueError("drift_factor_range must be 0 < lo <= hi")
+        if self.repair_delay < 1:
+            raise ValueError("repair_delay must be >= 1")
+
+    def as_params(self) -> Dict[str, object]:
+        """JSON-compatible parameter dict (for scenario registration)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled platform mutation."""
+
+    epoch: int
+    kind: str
+    #: Link name, hub name, host name or flap source, depending on ``kind``.
+    target: str
+    #: Drift multiplier (drift events only).
+    factor: Optional[float] = None
+    #: Second operand: flap destination, or the segment a host joins.
+    partner: Optional[str] = None
+
+    def describe(self) -> str:
+        parts = [self.kind, self.target]
+        if self.partner is not None:
+            parts.append(self.partner)
+        if self.factor is not None:
+            parts.append(f"x{self.factor:.2f}")
+        return ":".join(parts)
+
+
+@dataclass
+class ChurnDelta:
+    """What one epoch's application actually did to the platform."""
+
+    epoch: int
+    applied: List[ChurnEvent] = field(default_factory=list)
+    skipped: List[Tuple[ChurnEvent, str]] = field(default_factory=list)
+
+    @property
+    def structural(self) -> bool:
+        return any(e.kind in STRUCTURAL_KINDS for e in self.applied)
+
+    def describe(self) -> str:
+        return ", ".join(e.describe() for e in self.applied) or "(quiet)"
+
+
+class ChurnSchedule:
+    """A deterministic event list plus the runtime state of its application."""
+
+    def __init__(self, events: List[ChurnEvent], spec: ChurnSpec):
+        self.events = sorted(events, key=lambda e: (e.epoch, e.kind, e.target))
+        self.spec = spec
+        #: Links removed by ``link_down``, kept for the matching ``link_up``.
+        self._downed: Dict[str, Link] = {}
+
+    @property
+    def epochs(self) -> int:
+        return self.spec.epochs
+
+    def events_at(self, epoch: int) -> List[ChurnEvent]:
+        return [e for e in self.events if e.epoch == epoch]
+
+    def digest(self) -> str:
+        """Stable SHA-256 over the full event list (the schedule identity)."""
+        payload = json.dumps(
+            [[e.epoch, e.kind, e.target, e.factor, e.partner]
+             for e in self.events],
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+def _drift_targets(platform: Platform) -> List[str]:
+    """Links and hub segments eligible for condition drift."""
+    external = platform.external_node
+    targets = [name for name, link in sorted(platform.links.items())
+               if external not in (link.a, link.b)]
+    targets += [name for name, node in sorted(platform.nodes.items())
+                if node.is_hub]
+    return targets
+
+
+def _core_links(platform: Platform) -> List[str]:
+    """Links joining two infrastructure nodes (failure candidates)."""
+    external = platform.external_node
+    out = []
+    for name, link in sorted(platform.links.items()):
+        ends = (platform.nodes[link.a], platform.nodes[link.b])
+        if external in (link.a, link.b):
+            continue
+        if all(n.kind in (NodeKind.ROUTER, NodeKind.SWITCH) for n in ends):
+            out.append(name)
+    return out
+
+
+def _leaf_hosts(platform: Platform, protected: str) -> List[str]:
+    """Degree-1 hosts that may leave (never the designated master)."""
+    return [h.name for h in platform.hosts()
+            if h.name != protected and platform.graph.degree(h.name) == 1]
+
+
+def _segments(platform: Platform) -> List[str]:
+    """Hub/switch segment nodes that have at least one attached host."""
+    out = []
+    for name, node in sorted(platform.nodes.items()):
+        if node.kind not in (NodeKind.HUB, NodeKind.SWITCH):
+            continue
+        if any(platform.nodes[n].is_host
+               for n in platform.graph.neighbors(name)):
+            out.append(name)
+    return out
+
+
+def _pick(rng: np.random.Generator, items: List[str]) -> str:
+    return items[int(rng.integers(len(items)))]
+
+
+def generate_schedule(platform: Platform, spec: ChurnSpec) -> ChurnSchedule:
+    """Draw a deterministic event schedule for ``platform`` from ``spec``.
+
+    Targets are chosen against the initial platform; events whose target no
+    longer makes sense when their epoch arrives are skipped at application
+    time, so the schedule stays purely declarative.
+    """
+    rng = np.random.default_rng(spec.seed)
+    master = platform.host_names()[0] if platform.hosts() else ""
+    drift_targets = _drift_targets(platform)
+    core_links = _core_links(platform)
+    leave_pool = _leaf_hosts(platform, protected=master)
+    segments = _segments(platform)
+    hosts = platform.host_names()
+
+    lo, hi = spec.drift_factor_range
+    events: List[ChurnEvent] = []
+    #: link → epoch at which its scheduled repair lands (avoid double-downs).
+    down_until: Dict[str, int] = {}
+    join_counter = 0
+
+    for epoch in range(1, spec.epochs + 1):
+        for _ in range(int(rng.poisson(spec.drift_rate))):
+            if not drift_targets:
+                break
+            target = _pick(rng, drift_targets)
+            factor = float(lo * (hi / lo) ** rng.random())
+            kind = ("latency_drift"
+                    if rng.random() < spec.latency_drift_share
+                    and target in platform.links else "bandwidth_drift")
+            events.append(ChurnEvent(epoch=epoch, kind=kind, target=target,
+                                     factor=factor))
+
+        if core_links and rng.random() < spec.failure_rate:
+            up = [l for l in core_links if down_until.get(l, 0) < epoch]
+            if up:
+                target = _pick(rng, up)
+                scratch = platform.graph.copy()
+                for name in down_until:
+                    if down_until[name] >= epoch and name != target:
+                        link = platform.links[name]
+                        if scratch.has_edge(link.a, link.b):
+                            scratch.remove_edge(link.a, link.b)
+                link = platform.links[target]
+                scratch.remove_edge(link.a, link.b)
+                if nx.is_connected(scratch):
+                    repair = min(epoch + spec.repair_delay, spec.epochs)
+                    down_until[target] = repair
+                    events.append(ChurnEvent(epoch=epoch, kind="link_down",
+                                             target=target))
+                    if repair > epoch:
+                        events.append(ChurnEvent(epoch=repair, kind="link_up",
+                                                 target=target))
+
+        if leave_pool and rng.random() < spec.leave_rate:
+            target = _pick(rng, leave_pool)
+            leave_pool.remove(target)
+            events.append(ChurnEvent(epoch=epoch, kind="host_leave",
+                                     target=target))
+
+        if segments and rng.random() < spec.join_rate:
+            segment = _pick(rng, segments)
+            join_counter += 1
+            events.append(ChurnEvent(epoch=epoch, kind="host_join",
+                                     target=segment,
+                                     partner=f"dyn{join_counter}"))
+
+        if len(hosts) >= 2 and rng.random() < spec.flap_rate:
+            src = _pick(rng, hosts)
+            dst = _pick(rng, [h for h in hosts if h != src])
+            events.append(ChurnEvent(epoch=epoch, kind="route_flap",
+                                     target=src, partner=dst))
+
+    return ChurnSchedule(events, spec)
+
+
+# ---------------------------------------------------------------------------
+# application
+# ---------------------------------------------------------------------------
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+def _apply_bandwidth_drift(platform: Platform, event: ChurnEvent,
+                           spec: ChurnSpec) -> Optional[str]:
+    lo, hi = spec.min_bandwidth_mbps, spec.max_bandwidth_mbps
+    if event.target in platform.links:
+        link = platform.links[event.target]
+        platform.set_link_bandwidth(
+            event.target, _clamp(link.bandwidth_mbps * event.factor, lo, hi))
+        return None
+    node = platform.nodes.get(event.target)
+    if node is not None and node.is_hub:
+        node.bandwidth_mbps = _clamp(node.bandwidth_mbps * event.factor, lo, hi)
+        for neighbour in platform.graph.neighbors(event.target):
+            link = platform.link_between(event.target, neighbour)
+            platform.set_link_bandwidth(
+                link.name, _clamp(link.bandwidth_mbps * event.factor, lo, hi))
+        return None
+    return "target gone"
+
+
+def _apply_latency_drift(platform: Platform, event: ChurnEvent) -> Optional[str]:
+    if event.target not in platform.links:
+        return "target gone"
+    link = platform.links[event.target]
+    platform.set_link_latency(event.target,
+                              max(1e-6, link.latency_s * event.factor))
+    return None
+
+
+def _apply_link_down(platform: Platform, event: ChurnEvent,
+                     schedule: ChurnSchedule) -> Optional[str]:
+    if event.target not in platform.links:
+        return "target gone"
+    link = platform.links[event.target]
+    scratch = platform.graph.copy()
+    scratch.remove_edge(link.a, link.b)
+    if len(scratch) > 1 and not nx.is_connected(scratch):
+        return "would disconnect the platform"
+    schedule._downed[event.target] = platform.remove_link(event.target)
+    return None
+
+
+def _apply_link_up(platform: Platform, event: ChurnEvent,
+                   schedule: ChurnSchedule) -> Optional[str]:
+    link = schedule._downed.pop(event.target, None)
+    if link is None:
+        return "link was never down"
+    if event.target in platform.links:
+        return "link already up"
+    platform.restore_link(link)
+    return None
+
+
+def _update_ground_truth(platform: Platform, host: str,
+                         segment: Optional[str], add: bool) -> None:
+    truth = getattr(platform, "ground_truth", None)
+    if truth is None:
+        return
+    for name, spec in truth.items():
+        hosts = spec.get("hosts")
+        if not isinstance(hosts, set):
+            continue
+        if add and name == segment:
+            hosts.add(host)
+        elif not add:
+            hosts.discard(host)
+
+
+def _apply_host_leave(platform: Platform, event: ChurnEvent) -> Optional[str]:
+    node = platform.nodes.get(event.target)
+    if node is None or not node.is_host:
+        return "host gone"
+    if platform.graph.degree(event.target) != 1:
+        return "host bridges other nodes"
+    platform.remove_host(event.target)
+    _update_ground_truth(platform, event.target, None, add=False)
+    return None
+
+
+def _apply_host_join(platform: Platform, event: ChurnEvent) -> Optional[str]:
+    segment, new_host = event.target, event.partner
+    if segment not in platform.nodes:
+        return "segment gone"
+    if new_host in platform.nodes:
+        return "host already joined"
+    siblings = [n for n in platform.graph.neighbors(segment)
+                if platform.nodes[n].is_host]
+    if not siblings:
+        return "segment has no sibling host"
+    sibling = platform.nodes[sorted(siblings)[0]]
+    sibling_link = platform.link_between(sibling.name, segment)
+    subnet = ".".join(str(sibling.ip).split(".")[:3])
+    taken = {str(node.ip) for node in platform.nodes.values()
+             if node.ip is not None}
+    ip = next((f"{subnet}.{octet}" for octet in range(200, 255)
+               if f"{subnet}.{octet}" not in taken), None)
+    if ip is None:
+        return "subnet exhausted"
+    platform.add_host(new_host, ip, domain=sibling.domain)
+    platform.add_link(new_host, segment, sibling_link.bandwidth_mbps,
+                      latency_s=sibling_link.latency_s,
+                      duplex=sibling_link.duplex)
+    _update_ground_truth(platform, new_host, segment, add=True)
+    return None
+
+
+def _apply_route_flap(platform: Platform, event: ChurnEvent) -> Optional[str]:
+    src, dst = event.target, event.partner
+    if src not in platform.nodes or dst not in platform.nodes:
+        return "endpoint gone"
+    # Toggle off an existing detour in either orientation, so flaps drawn in
+    # opposite directions for the same pair do not stack opposing overrides.
+    if platform.clear_route(src, dst) or platform.clear_route(dst, src):
+        return None                     # flap back to shortest-path routing
+    try:
+        current = platform.route(src, dst).nodes
+    except KeyError:
+        return "no path"
+    if len(current) < 3:
+        return "no intermediate hop to avoid"
+    # Force a detour around the middle edge of the current path, if one exists.
+    mid = len(current) // 2
+    scratch = platform.graph.copy()
+    scratch.remove_edge(current[mid - 1], current[mid])
+    try:
+        detour = nx.shortest_path(scratch, src, dst)
+    except nx.NetworkXNoPath:
+        return "no alternative path"
+    platform.set_route(src, dst, detour)
+    return None
+
+
+def apply_epoch(platform: Platform, schedule: ChurnSchedule,
+                epoch: int) -> ChurnDelta:
+    """Apply all of ``epoch``'s events to ``platform`` (mutating it)."""
+    delta = ChurnDelta(epoch=epoch)
+    for event in schedule.events_at(epoch):
+        if event.kind == "bandwidth_drift":
+            reason = _apply_bandwidth_drift(platform, event, schedule.spec)
+        elif event.kind == "latency_drift":
+            reason = _apply_latency_drift(platform, event)
+        elif event.kind == "link_down":
+            reason = _apply_link_down(platform, event, schedule)
+        elif event.kind == "link_up":
+            reason = _apply_link_up(platform, event, schedule)
+        elif event.kind == "host_leave":
+            reason = _apply_host_leave(platform, event)
+        elif event.kind == "host_join":
+            reason = _apply_host_join(platform, event)
+        elif event.kind == "route_flap":
+            reason = _apply_route_flap(platform, event)
+        else:
+            reason = f"unknown event kind {event.kind!r}"
+        if reason is None:
+            delta.applied.append(event)
+        else:
+            delta.skipped.append((event, reason))
+    return delta

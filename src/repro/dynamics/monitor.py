@@ -1,0 +1,195 @@
+"""Epoch-wise drift detection over a deployed NWS plan.
+
+The monitor plays the role of the deployed NWS sensors between two mapping
+runs: each epoch it takes one bandwidth observation per *measured pair* of
+the current deployment plan and feeds it into a per-pair
+:class:`~repro.nws.forecasting.ForecasterBank` (the same mixture-of-experts
+battery the NWS uses).  These observations model the deployment's *own*
+periodic measurement traffic — a running NWS takes them regardless of any
+remapping strategy — so cost comparisons against a remap-every-epoch oracle
+count them separately from the remap probes.  An observation that deviates
+from the bank's forecast by more than ``drift_threshold`` flags the pair —
+and therefore the ENV networks its endpoints live in — as *drifted* and in
+need of re-probing.
+
+Structure changes (hosts joining/leaving, reachability loss, traceroute
+paths moving after a failure or route flap) cannot be repaired by re-probing
+a leaf cluster; they are reported separately via ``structure_changed`` so
+the remapper can fall back to a full mapping run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.plan import DeploymentPlan
+from ..env.envtree import ENVView
+from ..env.probes import AnalyticProbeDriver
+from ..netsim.topology import Platform
+from ..nws.forecasting import ForecasterBank
+
+__all__ = ["DriftReport", "DeploymentMonitor"]
+
+
+@dataclass
+class DriftReport:
+    """What one monitoring epoch observed."""
+
+    epoch: int
+    #: Measured pairs whose observation deviated from the forecast.
+    drifted_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    #: Labels of the classified ENV networks that should be re-probed.
+    suspect_labels: List[str] = field(default_factory=list)
+    structure_changed: bool = False
+    reasons: List[str] = field(default_factory=list)
+    #: Probing cost of this monitoring epoch.
+    measurements: int = 0
+    traceroutes: int = 0
+
+    @property
+    def quiet(self) -> bool:
+        """No drift and no structural change: nothing to remap."""
+        return not self.drifted_pairs and not self.structure_changed
+
+
+class DeploymentMonitor:
+    """Drives the deployed sensors over epochs and detects drift."""
+
+    def __init__(self, platform: Platform, view: ENVView,
+                 plan: DeploymentPlan,
+                 forecast_window: int = 10,
+                 forecast_alpha: float = 0.3,
+                 drift_threshold: float = 0.25,
+                 probe_size_bytes: int = 64 * 1024,
+                 check_structure: bool = True):
+        self.platform = platform
+        self.forecast_window = forecast_window
+        self.forecast_alpha = forecast_alpha
+        self.drift_threshold = drift_threshold
+        self.probe_size_bytes = probe_size_bytes
+        self.check_structure = check_structure
+        self._banks: Dict[Tuple[str, str], ForecasterBank] = {}
+        #: Traceroute baselines: host → external world, plus one per watched
+        #: pair (src, dst) so flapped routes between measured pairs are seen.
+        self._route_signatures: Dict[Tuple[str, Optional[str]],
+                                     Tuple[str, ...]] = {}
+        self.view = view
+        self.plan = plan
+        #: Probing cost of the initial baseline capture (a deployment cost).
+        self.seed_measurements = self.rebind(view, plan)
+
+    # -- lifecycle -----------------------------------------------------------
+    def rebind(self, view: ENVView, plan: DeploymentPlan) -> int:
+        """Adopt a freshly (re)mapped view/plan as the new baseline.
+
+        Forecast history of pairs that are still measured is kept (the warm
+        start); pairs no longer measured are dropped; *new* pairs are seeded
+        with one baseline observation so the very next epoch can already
+        detect drift against as-mapped conditions.  The structural baseline
+        (traceroute signatures) is re-captured.  Returns the number of
+        measurements this cost.
+        """
+        self.view = view
+        self.plan = plan
+        pairs = self.watched_pairs()
+        self._banks = {
+            pair: self._banks.get(pair) or ForecasterBank(
+                window=self.forecast_window, alpha=self.forecast_alpha)
+            for pair in pairs
+        }
+        driver = AnalyticProbeDriver(self.platform)
+        for (a, b), bank in sorted(self._banks.items()):
+            if (bank.sample_count == 0
+                    and a in self.platform.nodes and b in self.platform.nodes
+                    and driver.can_communicate(a, b)):
+                bank.update(driver.bandwidth(a, b, self.probe_size_bytes))
+        self._route_signatures = {}
+        if self.check_structure:
+            for host in sorted(self.plan.hosts):
+                if host in self.platform.nodes:
+                    self._route_signatures[(host, None)] = \
+                        self._signature(driver, host)
+            # Both orientations: a flapped route is directional (asymmetric),
+            # so a->b may detour while b->a still takes the shortest path.
+            for a, b in pairs:
+                if a in self.platform.nodes and b in self.platform.nodes:
+                    self._route_signatures[(a, b)] = \
+                        self._signature(driver, a, b)
+                    self._route_signatures[(b, a)] = \
+                        self._signature(driver, b, a)
+        return driver.stats.measurements
+
+    def watched_pairs(self) -> List[Tuple[str, str]]:
+        """The ordered (sorted) pairs the deployed plan measures directly."""
+        return sorted(tuple(sorted(pair)) for pair in self.plan.measured_pairs())
+
+    # -- internals -----------------------------------------------------------
+    def _signature(self, driver: AnalyticProbeDriver, src: str,
+                   dst: Optional[str] = None) -> Tuple[str, ...]:
+        result = driver.run_traceroute(src, dst)
+        return tuple(hop.address for hop in result.hops)
+
+    def _suspects_for(self, pair: Tuple[str, str]) -> List[str]:
+        labels = []
+        for host in pair:
+            net = self.view.network_of(host)
+            if net is not None and net.label not in labels:
+                labels.append(net.label)
+        return labels
+
+    # -- the epoch observation ------------------------------------------------
+    def observe_epoch(self, epoch: int) -> DriftReport:
+        """Take one observation round and report drift/structure findings."""
+        report = DriftReport(epoch=epoch)
+        # A fresh driver per epoch: the flow model snapshots link capacities,
+        # and the platform may have been mutated since the last epoch.
+        driver = AnalyticProbeDriver(self.platform)
+
+        current_hosts = set(self.platform.host_names())
+        planned = set(self.plan.hosts)
+        joined = sorted(current_hosts - planned)
+        left = sorted(planned - current_hosts)
+        if joined:
+            report.structure_changed = True
+            report.reasons.append(f"hosts joined: {', '.join(joined)}")
+        if left:
+            report.structure_changed = True
+            report.reasons.append(f"hosts left: {', '.join(left)}")
+
+        for pair in self.watched_pairs():
+            a, b = pair
+            if a not in current_hosts or b not in current_hosts:
+                continue        # already reported as a membership change
+            if not driver.can_communicate(a, b):
+                report.structure_changed = True
+                report.reasons.append(f"pair {a}-{b} unreachable")
+                continue
+            observed = driver.bandwidth(a, b, self.probe_size_bytes)
+            bank = self._banks.setdefault(pair, ForecasterBank(
+                window=self.forecast_window, alpha=self.forecast_alpha))
+            forecast = bank.forecast()
+            if forecast is not None and forecast.value > 0:
+                deviation = abs(observed - forecast.value) / forecast.value
+                if deviation > self.drift_threshold:
+                    report.drifted_pairs.append(pair)
+                    for label in self._suspects_for(pair):
+                        if label not in report.suspect_labels:
+                            report.suspect_labels.append(label)
+            bank.update(observed)
+
+        if self.check_structure:
+            for (src, dst), baseline in self._route_signatures.items():
+                if src not in current_hosts or \
+                        (dst is not None and dst not in current_hosts):
+                    continue
+                signature = self._signature(driver, src, dst)
+                if signature != baseline:
+                    report.structure_changed = True
+                    where = f"{src}->{dst}" if dst else src
+                    report.reasons.append(f"route of {where} changed")
+                    self._route_signatures[(src, dst)] = signature
+
+        report.measurements = driver.stats.measurements
+        report.traceroutes = driver.stats.traceroutes
+        return report

@@ -1,0 +1,178 @@
+"""Incremental ENV remapping: patch the existing view instead of re-mapping.
+
+A full :func:`~repro.env.mapper.map_platform` run re-does the lookup phase,
+one traceroute per host, and the complete §4.2.2 experiment battery on every
+cluster — O(hosts²) probe measurements.  After a *drift* event only the
+flagged clusters actually changed, so :func:`incremental_remap` warm-starts
+from the previous :class:`~repro.env.envtree.ENVView`: it deep-copies the
+tree and re-runs the bandwidth experiments **only** on the suspect leaf
+networks, splicing the refreshed clusters back into place.  Everything else
+(structure, unaffected clusters, machine inventory) is reused as-is.
+
+When the monitor reports a *structure* change (membership, reachability or
+routing), or when drift touches most of the platform anyway, patching is
+unsound and the remapper falls back to a full mapping run — the mode is
+recorded on the :class:`RemapResult` so callers can account for both paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..env.bandwidth_tests import ClusterRefiner
+from ..env.envtree import ENVNetwork, ENVView, KIND_STRUCTURAL
+from ..env.mapper import make_driver, map_platform
+from ..env.probes import ProbeStats
+from ..env.thresholds import DEFAULT_THRESHOLDS, ENVThresholds
+from ..netsim.topology import Platform
+from .monitor import DriftReport
+
+__all__ = ["RemapResult", "full_remap", "incremental_remap"]
+
+
+@dataclass
+class RemapResult:
+    """Outcome and cost of one remapping decision."""
+
+    view: ENVView
+    #: ``"none"`` (nothing to do), ``"incremental"`` or ``"full"``.
+    mode: str
+    #: Probing cost of this remap alone (not cumulative).
+    stats: ProbeStats = field(default_factory=ProbeStats)
+    seconds: float = 0.0
+    #: Classified networks that were re-probed (incremental mode).
+    refreshed_labels: List[str] = field(default_factory=list)
+    reason: str = ""
+
+
+def full_remap(platform: Platform, master: str,
+               thresholds: ENVThresholds = DEFAULT_THRESHOLDS,
+               reason: str = "") -> RemapResult:
+    """Re-map the platform from scratch (the oracle / fallback path)."""
+    start = time.perf_counter()
+    view = map_platform(platform, master, thresholds=thresholds)
+    return RemapResult(view=view, mode="full", stats=view.stats,
+                       seconds=time.perf_counter() - start, reason=reason)
+
+
+def _copy_network(net: ENVNetwork) -> ENVNetwork:
+    """A fresh tree whose nodes can be replaced without touching the original.
+
+    Cheaper than ``copy.deepcopy``: host-name strings and measured values are
+    immutable and shared, only the node objects and their lists are new.
+    """
+    clone = ENVNetwork(label=net.label, kind=net.kind, hosts=list(net.hosts),
+                      gateway=net.gateway,
+                      base_bandwidth_mbps=net.base_bandwidth_mbps,
+                      local_bandwidth_mbps=net.local_bandwidth_mbps,
+                      jam_ratio=net.jam_ratio)
+    clone.children = [_copy_network(child) for child in net.children]
+    return clone
+
+
+def _copy_view(view: ENVView) -> ENVView:
+    """A patchable copy of ``view`` (tree copied, machine records shared)."""
+    return ENVView(master=view.master, root=_copy_network(view.root),
+                   machines=dict(view.machines),
+                   site_domain=view.site_domain, stats=view.stats)
+
+
+def _find_with_parent(root: ENVNetwork, label: str
+                      ) -> Optional[Tuple[Optional[ENVNetwork], ENVNetwork]]:
+    """The classified network called ``label`` and its parent (None = root)."""
+    if root.kind != KIND_STRUCTURAL and root.label == label:
+        return None, root
+    stack: List[ENVNetwork] = [root]
+    while stack:
+        parent = stack.pop()
+        for child in parent.children:
+            if child.kind != KIND_STRUCTURAL and child.label == label:
+                return parent, child
+            stack.append(child)
+    return None
+
+
+def _refresh_leaf(view: ENVView, parent: Optional[ENVNetwork],
+                  leaf: ENVNetwork, refiner: ClusterRefiner) -> List[str]:
+    """Re-run the experiment battery on one leaf and splice the result in."""
+    master = view.master
+    members = [h for h in sorted(set(leaf.hosts)) if h != master]
+    clusters = refiner.refine(members, gateway=leaf.gateway)
+    if not clusters:
+        return []
+    replacements: List[ENVNetwork] = []
+    for index, cluster in enumerate(clusters):
+        label = leaf.label if index == 0 else f"{leaf.label}~{index + 1}"
+        replacements.append(cluster.to_network(label))
+    # The master stays attached to its home cluster, as the mapper does.
+    if master in leaf.hosts:
+        home = max(replacements,
+                   key=lambda net: net.base_bandwidth_mbps or 0.0)
+        if master not in home.hosts:
+            home.hosts = sorted(home.hosts + [master])
+    # Grafted subtrees hanging below the old leaf stay below the refreshed one.
+    replacements[0].children = leaf.children
+    if replacements[0].gateway is None:
+        replacements[0].gateway = leaf.gateway
+    if parent is None:
+        if len(replacements) == 1:
+            view.root = replacements[0]
+        else:
+            wrapper = ENVNetwork(label=leaf.label, kind=KIND_STRUCTURAL,
+                                 gateway=leaf.gateway)
+            wrapper.children = replacements
+            view.root = wrapper
+    else:
+        index = parent.children.index(leaf)
+        parent.children[index:index + 1] = replacements
+    return [net.label for net in replacements]
+
+
+def incremental_remap(platform: Platform, view: ENVView, report: DriftReport,
+                      thresholds: ENVThresholds = DEFAULT_THRESHOLDS,
+                      full_fraction: float = 0.5) -> RemapResult:
+    """Update ``view`` in response to a drift report (warm start).
+
+    Parameters
+    ----------
+    full_fraction:
+        When the suspect networks cover more than this fraction of the mapped
+        hosts, patching would re-probe almost everything anyway — fall back
+        to one clean full remap instead.
+    """
+    if report.structure_changed:
+        return full_remap(platform, view.master, thresholds=thresholds,
+                          reason="; ".join(report.reasons)
+                          or "structure changed")
+    if not report.suspect_labels:
+        return RemapResult(view=view, mode="none", reason="no drift detected")
+
+    leaves = {net.label: net for net in view.classified_networks()}
+    suspect_hosts = set()
+    for label in report.suspect_labels:
+        if label in leaves:
+            suspect_hosts.update(leaves[label].hosts)
+    total = max(len(view.machines), 1)
+    if len(suspect_hosts) / total > full_fraction:
+        return full_remap(platform, view.master, thresholds=thresholds,
+                          reason=f"drift touches {len(suspect_hosts)}/{total} "
+                                 "hosts")
+
+    start = time.perf_counter()
+    patched = _copy_view(view)
+    driver = make_driver(platform)
+    refiner = ClusterRefiner(driver, patched.master, thresholds)
+    refreshed: List[str] = []
+    for label in report.suspect_labels:
+        found = _find_with_parent(patched.root, label)
+        if found is None:
+            continue
+        parent, leaf = found
+        refreshed.extend(_refresh_leaf(patched, parent, leaf, refiner))
+    patched.stats = patched.stats.merge(driver.stats)
+    return RemapResult(view=patched, mode="incremental", stats=driver.stats,
+                       seconds=time.perf_counter() - start,
+                       refreshed_labels=refreshed,
+                       reason=f"re-probed {len(refreshed)} network(s)")

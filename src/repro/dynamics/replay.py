@@ -1,0 +1,301 @@
+"""Epoch replay: churn → monitor → remap → replan, with an optional oracle.
+
+:func:`run_replay` drives one dynamic scenario end to end.  Epoch 0 performs
+a full bootstrap mapping; every later epoch applies the scenario's churn
+events, takes one monitoring observation round, lets the incremental
+remapper decide between *no-op*, *patch* and *full remap*, re-plans from the
+(possibly) updated view, and evaluates the plan against the churned ground
+truth.  An optional **oracle track** re-maps the platform from scratch every
+epoch — the quality ceiling the incremental strategy is compared against,
+and the cost baseline its savings are measured from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..core import evaluate_plan, plan_from_view
+from ..core.plan import DeploymentPlan
+from ..core.quality import QualityReport
+from ..env.mapper import map_platform
+from ..env.thresholds import DEFAULT_THRESHOLDS, ENVThresholds
+from ..scenarios.registry import get_scenario
+from .churn import apply_epoch, generate_schedule
+from .monitor import DeploymentMonitor
+from .remap import RemapResult, full_remap, incremental_remap
+from .scenarios import DynamicScenario
+
+__all__ = ["EpochRecord", "ReplayResult", "run_replay", "plan_similarity"]
+
+
+def plan_similarity(before: DeploymentPlan, after: DeploymentPlan) -> float:
+    """Jaccard similarity of the two plans' clique host-sets (1.0 = stable)."""
+    a = {frozenset(c.hosts) for c in before.cliques}
+    b = {frozenset(c.hosts) for c in after.cliques}
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass
+class EpochRecord:
+    """Everything one replay epoch produced."""
+
+    epoch: int
+    events: List[str] = field(default_factory=list)
+    skipped_events: List[str] = field(default_factory=list)
+    drifted_pairs: int = 0
+    suspect_networks: List[str] = field(default_factory=list)
+    structure_changed: bool = False
+    monitor_measurements: int = 0
+    remap_mode: str = "none"
+    remap_measurements: int = 0
+    remap_seconds: float = 0.0
+    remap_reason: str = ""
+    plan_cliques: int = 0
+    plan_stability: float = 1.0
+    completeness: Optional[float] = None
+    bandwidth_error: Optional[float] = None
+    harmful_collisions: Optional[int] = None
+    oracle_measurements: Optional[int] = None
+    oracle_seconds: Optional[float] = None
+    oracle_completeness: Optional[float] = None
+    oracle_bandwidth_error: Optional[float] = None
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for JSONL records and ASCII tables."""
+        return {
+            "epoch": self.epoch,
+            "events": ";".join(self.events) or "-",
+            "drifted": self.drifted_pairs,
+            "suspects": len(self.suspect_networks),
+            "structure": self.structure_changed,
+            "remap": self.remap_mode,
+            "remap_meas": self.remap_measurements,
+            "remap_s": round(self.remap_seconds, 4),
+            "cliques": self.plan_cliques,
+            "stability": round(self.plan_stability, 3),
+            "completeness": ("" if self.completeness is None
+                             else round(self.completeness, 3)),
+            "oracle_meas": ("" if self.oracle_measurements is None
+                            else self.oracle_measurements),
+        }
+
+
+@dataclass
+class ReplayResult:
+    """Aggregate outcome of one dynamic-scenario replay."""
+
+    scenario: str
+    base: str
+    master: str
+    schedule_digest: str
+    records: List[EpochRecord] = field(default_factory=list)
+    bootstrap_measurements: int = 0
+    bootstrap_seconds: float = 0.0
+    hosts_initial: int = 0
+    hosts_final: int = 0
+    elapsed_s: float = 0.0
+
+    # -- aggregates ----------------------------------------------------------
+    @property
+    def remap_measurements(self) -> int:
+        """Total maintenance probing cost (monitor + remaps, all epochs)."""
+        return sum(r.monitor_measurements + r.remap_measurements
+                   for r in self.records)
+
+    @property
+    def oracle_measurements(self) -> Optional[int]:
+        costs = [r.oracle_measurements for r in self.records]
+        if any(c is None for c in costs):
+            return None
+        return sum(costs)
+
+    @property
+    def remap_counts(self) -> Dict[str, int]:
+        counts = {"none": 0, "incremental": 0, "full": 0}
+        for record in self.records:
+            counts[record.remap_mode] = counts.get(record.remap_mode, 0) + 1
+        return counts
+
+    @property
+    def mean_stability(self) -> float:
+        if not self.records:
+            return 1.0
+        return sum(r.plan_stability for r in self.records) / len(self.records)
+
+    def quality_gaps(self) -> Dict[str, float]:
+        """Mean |incremental − oracle| over epochs where both were evaluated."""
+        comp, bw = [], []
+        for r in self.records:
+            if r.completeness is not None and r.oracle_completeness is not None:
+                comp.append(abs(r.completeness - r.oracle_completeness))
+            if (r.bandwidth_error is not None
+                    and r.oracle_bandwidth_error is not None):
+                bw.append(abs(r.bandwidth_error - r.oracle_bandwidth_error))
+        return {
+            "completeness": sum(comp) / len(comp) if comp else 0.0,
+            "bandwidth_error": sum(bw) / len(bw) if bw else 0.0,
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """A flat, JSON-serialisable digest (one sweep-store record body)."""
+        final = self.records[-1] if self.records else None
+        counts = self.remap_counts
+        out: Dict[str, object] = {
+            "kind": "dynamic",
+            "scenario": self.scenario,
+            "base": self.base,
+            "master": self.master,
+            "schedule": self.schedule_digest[:12],
+            "hosts": self.hosts_initial,
+            "hosts_final": self.hosts_final,
+            "epochs": len(self.records),
+            "events_applied": sum(len(r.events) for r in self.records),
+            "events_skipped": sum(len(r.skipped_events) for r in self.records),
+            "incremental_remaps": counts.get("incremental", 0),
+            "full_remaps": counts.get("full", 0),
+            "quiet_epochs": counts.get("none", 0),
+            "bootstrap_measurements": self.bootstrap_measurements,
+            "measurements": self.remap_measurements,
+            "mean_plan_stability": round(self.mean_stability, 4),
+            "completeness": (final.completeness
+                             if final and final.completeness is not None
+                             else None),
+            "bandwidth_error": (final.bandwidth_error
+                                if final and final.bandwidth_error is not None
+                                else None),
+            "epoch_records": [r.as_row() for r in self.records],
+        }
+        if self.oracle_measurements is not None:
+            gaps = self.quality_gaps()
+            out["oracle_measurements"] = self.oracle_measurements
+            out["quality_gap_completeness"] = round(gaps["completeness"], 4)
+            out["quality_gap_bandwidth_error"] = round(
+                gaps["bandwidth_error"], 4)
+        return out
+
+
+def _quality(plan: DeploymentPlan, platform) -> QualityReport:
+    return evaluate_plan(plan, platform)
+
+
+def run_replay(scenario: Union[str, DynamicScenario],
+               epochs: Optional[int] = None,
+               period_s: float = 60.0,
+               forecast_window: int = 10,
+               forecast_alpha: float = 0.3,
+               drift_threshold: float = 0.25,
+               full_fraction: float = 0.5,
+               oracle: bool = False,
+               quality_every: int = 1,
+               thresholds: ENVThresholds = DEFAULT_THRESHOLDS) -> ReplayResult:
+    """Replay a dynamic scenario over its churn schedule.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`DynamicScenario` or the name of a registered one.
+    epochs:
+        Override the schedule length (defaults to the scenario's spec).
+    oracle:
+        Also run the full-remap-every-epoch oracle track (slower; used by
+        benchmarks and the CLI's ``--oracle`` flag).
+    quality_every:
+        Evaluate plan quality every N epochs (and always on the last one);
+        0 evaluates only the last epoch.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if not isinstance(scenario, DynamicScenario):
+        raise ValueError(f"{scenario.name!r} is not a dynamic scenario")
+
+    start = time.perf_counter()
+    platform = scenario.build()
+    spec = scenario.churn_spec()
+    if epochs is not None:
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        spec = dataclasses.replace(spec, epochs=epochs)
+    schedule = generate_schedule(platform, spec)
+    n_epochs = spec.epochs
+
+    master = platform.host_names()[0]
+    bootstrap = full_remap(platform, master, thresholds=thresholds,
+                           reason="bootstrap")
+    view = bootstrap.view
+    plan = plan_from_view(view, period_s=period_s)
+    monitor = DeploymentMonitor(
+        platform, view, plan,
+        forecast_window=forecast_window, forecast_alpha=forecast_alpha,
+        drift_threshold=drift_threshold)
+
+    result = ReplayResult(
+        scenario=scenario.name, base=scenario.base, master=master,
+        schedule_digest=schedule.digest(),
+        # Deployment cost: the mapping run plus the monitor's baseline round.
+        bootstrap_measurements=(bootstrap.stats.measurements
+                                + monitor.seed_measurements),
+        bootstrap_seconds=bootstrap.seconds,
+        hosts_initial=len(platform.host_names()),
+    )
+
+    for epoch in range(1, n_epochs + 1):
+        delta = apply_epoch(platform, schedule, epoch)
+        report = monitor.observe_epoch(epoch)
+        record = EpochRecord(
+            epoch=epoch,
+            events=[e.describe() for e in delta.applied],
+            skipped_events=[f"{e.describe()} ({why})"
+                            for e, why in delta.skipped],
+            drifted_pairs=len(report.drifted_pairs),
+            suspect_networks=list(report.suspect_labels),
+            structure_changed=report.structure_changed,
+            monitor_measurements=report.measurements,
+        )
+
+        remap: RemapResult = incremental_remap(
+            platform, view, report, thresholds=thresholds,
+            full_fraction=full_fraction)
+        record.remap_mode = remap.mode
+        record.remap_reason = remap.reason
+        if remap.mode != "none":
+            record.remap_measurements = remap.stats.measurements
+            record.remap_seconds = remap.seconds
+            view = remap.view
+            new_plan = plan_from_view(view, period_s=period_s)
+            record.plan_stability = plan_similarity(plan, new_plan)
+            plan = new_plan
+            record.monitor_measurements += monitor.rebind(view, plan)
+        record.plan_cliques = len(plan.cliques)
+
+        evaluate = (epoch == n_epochs
+                    or (quality_every > 0 and epoch % quality_every == 0))
+        if evaluate:
+            quality = _quality(plan, platform)
+            record.completeness = quality.completeness
+            record.bandwidth_error = quality.bandwidth_error
+            record.harmful_collisions = quality.harmful_collisions
+
+        if oracle:
+            current_master = (master if master in platform.nodes
+                              else platform.host_names()[0])
+            oracle_remap = full_remap(platform, current_master,
+                                      thresholds=thresholds, reason="oracle")
+            record.oracle_measurements = oracle_remap.stats.measurements
+            record.oracle_seconds = oracle_remap.seconds
+            if evaluate:
+                oracle_plan = plan_from_view(oracle_remap.view,
+                                             period_s=period_s)
+                oracle_quality = _quality(oracle_plan, platform)
+                record.oracle_completeness = oracle_quality.completeness
+                record.oracle_bandwidth_error = oracle_quality.bandwidth_error
+
+        result.records.append(record)
+
+    result.hosts_final = len(platform.host_names())
+    result.elapsed_s = time.perf_counter() - start
+    return result

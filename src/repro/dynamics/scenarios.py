@@ -1,0 +1,85 @@
+"""Dynamic scenarios: a churn schedule layered on a catalog platform.
+
+A :class:`DynamicScenario` pairs a *base* scenario from the static catalog
+(:mod:`repro.scenarios.catalog`) with a :class:`~repro.dynamics.churn.ChurnSpec`.
+It registers in the same registry as the static scenarios, so listing,
+filtering, sweeping and result caching all work unchanged — its content hash
+covers the base scenario's hash **and** every churn parameter, which is
+exactly the identity of the generated schedule (schedule generation is a
+deterministic function of the platform and the spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..netsim.topology import Platform
+from ..scenarios.registry import Scenario, get_scenario, register
+from .churn import ChurnSchedule, ChurnSpec, generate_schedule
+
+__all__ = ["DynamicScenario", "register_dynamic_scenario",
+           "list_dynamic_scenarios"]
+
+DYNAMIC_FAMILY = "dynamic"
+
+
+@dataclass(frozen=True)
+class DynamicScenario(Scenario):
+    """A base platform plus the churn schedule that evolves it."""
+
+    base: str = ""
+    #: The resolved base scenario, captured at registration time so sweep
+    #: workers never need to consult the parent process's registry.
+    base_scenario: Optional[Scenario] = field(default=None, compare=False,
+                                              repr=False)
+
+    def churn_spec(self) -> ChurnSpec:
+        params = {k: v for k, v in self.param_dict.items()
+                  if k not in ("base", "base_hash")}
+        ranged = {k: tuple(v) if isinstance(v, list) else v
+                  for k, v in params.items()}
+        return ChurnSpec(**ranged)
+
+    def build(self) -> Platform:
+        """Build the *initial* platform (epoch 0, before any churn)."""
+        if self.base_scenario is None:
+            return get_scenario(self.base).build()
+        return self.base_scenario.build()
+
+    def build_schedule(self, platform: Platform) -> ChurnSchedule:
+        """The deterministic churn schedule for a freshly built platform."""
+        return generate_schedule(platform, self.churn_spec())
+
+
+def register_dynamic_scenario(name: str, *, base: str, description: str = "",
+                              tags: Tuple[str, ...] = (),
+                              **churn_params) -> DynamicScenario:
+    """Register a dynamic scenario layered on base scenario ``base``.
+
+    The keyword arguments are :class:`ChurnSpec` fields; together with the
+    base scenario's content hash they form the scenario's identity, so a
+    change to either the base platform or the churn knobs invalidates cached
+    sweep results for this scenario only.
+    """
+    base_scenario = get_scenario(base)
+    spec = ChurnSpec(**churn_params)        # validate early
+    params = dict(spec.as_params())
+    params["base"] = base
+    params["base_hash"] = base_scenario.content_hash
+    scenario = DynamicScenario(
+        name=name, family=DYNAMIC_FAMILY, description=description,
+        tags=tuple(tags) if "dynamic" in tags else tuple(tags) + ("dynamic",),
+        params=tuple(sorted(params.items())),
+        builder=base_scenario.builder,
+        base=base, base_scenario=base_scenario,
+    )
+    register(scenario)
+    return scenario
+
+
+def list_dynamic_scenarios(pattern: Optional[str] = None):
+    """All registered dynamic scenarios (optionally filtered)."""
+    from ..scenarios.registry import list_scenarios
+    return [s for s in list_scenarios(pattern)
+            if isinstance(s, DynamicScenario)]

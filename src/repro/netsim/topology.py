@@ -278,6 +278,68 @@ class Platform:
         self._route_cache.clear()
         return link
 
+    # -- mutation (time-varying platforms) -----------------------------------
+    def set_link_bandwidth(self, name: str, bandwidth_mbps: float) -> None:
+        """Change a link's capacity in place (routes are unaffected)."""
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"link {name!r} bandwidth must be positive")
+        self.links[name].bandwidth_mbps = bandwidth_mbps
+
+    def set_link_latency(self, name: str, latency_s: float) -> None:
+        """Change a link's latency in place (routes are unaffected)."""
+        if latency_s < 0:
+            raise ValueError(f"link {name!r} latency must be non-negative")
+        self.links[name].latency_s = latency_s
+
+    def remove_link(self, name: str) -> Link:
+        """Remove a link (failure).  Returns it so it can be restored later.
+
+        Route overrides traversing the removed edge are dropped: the platform
+        falls back to shortest-path routing for those pairs.
+        """
+        link = self.links.pop(name, None)
+        if link is None:
+            raise KeyError(f"unknown link {name!r}")
+        edge = self.graph.get_edge_data(link.a, link.b)
+        if edge is not None and edge.get("link") == name:
+            self.graph.remove_edge(link.a, link.b)
+        for key, path in list(self.route_overrides.items()):
+            for u, v in zip(path, path[1:]):
+                if {u, v} == {link.a, link.b}:
+                    del self.route_overrides[key]
+                    break
+        self._route_cache.clear()
+        return link
+
+    def restore_link(self, link: Link) -> Link:
+        """Re-attach a previously removed link (repair) with its old parameters."""
+        return self.add_link(link.a, link.b, link.bandwidth_mbps,
+                             latency_s=link.latency_s, duplex=link.duplex,
+                             name=link.name)
+
+    def remove_host(self, name: str) -> Node:
+        """Remove a host and its incident links (host leave).
+
+        Only plain hosts can be removed; routers/switches/hubs carry other
+        nodes' connectivity.  Route overrides involving the host are dropped.
+        """
+        node = self.nodes.get(name)
+        if node is None:
+            raise KeyError(f"unknown node {name!r}")
+        if node.kind is not NodeKind.HOST:
+            raise ValueError(f"only hosts can be removed, {name!r} is "
+                             f"{node.kind.value}")
+        for link_name in [l.name for l in self.links.values()
+                          if name in (l.a, l.b)]:
+            self.remove_link(link_name)
+        self.graph.remove_node(name)
+        del self.nodes[name]
+        for key, path in list(self.route_overrides.items()):
+            if name in key or name in path:
+                del self.route_overrides[key]
+        self._route_cache.clear()
+        return node
+
     def set_route(self, src: str, dst: str, node_path: List[str]) -> None:
         """Force the path used from ``src`` to ``dst`` (asymmetric routing)."""
         if node_path[0] != src or node_path[-1] != dst:
@@ -287,6 +349,13 @@ class Platform:
                 raise ValueError(f"override uses non-existent edge {u!r}-{v!r}")
         self.route_overrides[(src, dst)] = list(node_path)
         self._route_cache.clear()
+
+    def clear_route(self, src: str, dst: str) -> bool:
+        """Drop a route override; returns whether one existed."""
+        existed = self.route_overrides.pop((src, dst), None) is not None
+        if existed:
+            self._route_cache.clear()
+        return existed
 
     # -- queries ---------------------------------------------------------------
     def hosts(self) -> List[Node]:

@@ -27,6 +27,7 @@ from .core import (
 from .env import map_platform
 from .env.envtree import ENVView
 from .netsim.topology import Platform
+from .nws.config import NWSConfig
 
 __all__ = ["PipelineResult", "run_pipeline", "BASELINE_PLANNERS"]
 
@@ -52,6 +53,10 @@ class PipelineResult:
     reports: List[QualityReport] = field(default_factory=list)
     #: Wall-clock seconds per stage: ``map`` / ``plan`` / ``quality``.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Forecasting knobs a deployment of this plan should run with
+    #: (:func:`repro.nws.forecasting.default_forecasters` parameters).
+    forecast_window: int = 10
+    forecast_alpha: float = 0.3
 
     @property
     def env_report(self) -> QualityReport:
@@ -60,6 +65,12 @@ class PipelineResult:
             if report.planner == "env":
                 return report
         raise ValueError("pipeline result holds no ENV quality report")
+
+    def nws_config(self, **overrides) -> NWSConfig:
+        """The NWS runtime configuration matching this pipeline run."""
+        overrides.setdefault("forecast_window", self.forecast_window)
+        overrides.setdefault("exponential_alpha", self.forecast_alpha)
+        return NWSConfig(**overrides)
 
     def summary(self) -> Dict[str, object]:
         """A flat, JSON-serialisable digest (one sweep-store record body)."""
@@ -81,6 +92,8 @@ class PipelineResult:
             "latency_error": env.latency_error,
             "intrusiveness": env.intrusiveness,
             "worst_period_s": env.worst_period_s,
+            "forecast_window": self.forecast_window,
+            "forecast_alpha": self.forecast_alpha,
             "baselines": [r.as_row() for r in self.reports],
             "timings": dict(self.timings),
         }
@@ -92,6 +105,9 @@ def run_pipeline(platform: Platform,
                  baselines: Sequence[str] = ("global-clique", "all-pairs",
                                              "random", "subnet"),
                  mapper: Optional[Callable[[Platform], ENVView]] = None,
+                 forecast_window: int = 10,
+                 forecast_alpha: float = 0.3,
+                 evaluate: bool = True,
                  ) -> PipelineResult:
     """Run map → plan → quality on ``platform`` and return the results.
 
@@ -108,10 +124,22 @@ def run_pipeline(platform: Platform,
     mapper:
         Override for the mapping stage (e.g. the merged two-side ENS-Lyon
         mapping); defaults to a plain single-master :func:`map_platform`.
+    forecast_window / forecast_alpha:
+        The :func:`~repro.nws.forecasting.default_forecasters` parameters a
+        deployment of this plan should run with; recorded on the result and
+        turned into an :class:`~repro.nws.config.NWSConfig` by
+        :meth:`PipelineResult.nws_config`.
+    evaluate:
+        ``False`` skips the quality stage entirely (map + plan only — for
+        callers that deploy the plan rather than score it).  The result then
+        has no reports, so :attr:`PipelineResult.env_report` and
+        :meth:`PipelineResult.summary` are unavailable.
     """
     unknown = [name for name in baselines if name not in BASELINE_PLANNERS]
     if unknown:
         raise ValueError(f"unknown baseline planners: {unknown}")
+    # Validate the forecasting knobs eagerly (NWSConfig owns the rules).
+    NWSConfig(forecast_window=forecast_window, exponential_alpha=forecast_alpha)
 
     timings: Dict[str, float] = {}
     start = time.perf_counter()
@@ -125,13 +153,15 @@ def run_pipeline(platform: Platform,
     plan = plan_from_view(view, period_s=period_s)
     timings["plan"] = time.perf_counter() - start
 
-    start = time.perf_counter()
     hosts = sorted(plan.hosts)
-    plans = {"env": plan}
-    for name in baselines:
-        plans[name] = BASELINE_PLANNERS[name](platform, hosts)
-    reports = compare_plans(plans, platform)
-    timings["quality"] = time.perf_counter() - start
+    reports: List[QualityReport] = []
+    if evaluate:
+        start = time.perf_counter()
+        plans = {"env": plan}
+        for name in baselines:
+            plans[name] = BASELINE_PLANNERS[name](platform, hosts)
+        reports = compare_plans(plans, platform)
+        timings["quality"] = time.perf_counter() - start
 
     return PipelineResult(
         platform_name=platform.name,
@@ -141,4 +171,6 @@ def run_pipeline(platform: Platform,
         plan=plan,
         reports=reports,
         timings=timings,
+        forecast_window=forecast_window,
+        forecast_alpha=forecast_alpha,
     )

@@ -14,16 +14,23 @@ from .registry import (
     clear_registry,
     get_scenario,
     list_scenarios,
+    register,
     register_scenario,
+    registry_snapshot,
+    restore_registry,
     scenario_names,
 )
-from . import catalog  # noqa: F401  (side effect: populate the registry)
+from .catalog import load_catalog  # noqa: F401  (import populates the registry)
 
 __all__ = [
     "Scenario",
+    "register",
     "register_scenario",
     "get_scenario",
     "list_scenarios",
     "scenario_names",
     "clear_registry",
+    "registry_snapshot",
+    "restore_registry",
+    "load_catalog",
 ]

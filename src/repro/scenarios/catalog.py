@@ -2,14 +2,19 @@
 
 Importing this module populates the registry with the evaluation platforms
 the sweep runs over: the paper's ENS-Lyon LAN, the seeded synthetic
-constellations, and the scenario-suite families (WAN grids, campuses,
-fat-trees, stars, rings, degraded platforms).
+constellations, and the scenario-suite families (WAN grids, firewalled
+campuses, fat-tree/star/ring LANs, degraded links).
+
+Registration is **idempotent**: :func:`load_catalog` may be called any number
+of times (e.g. after a test used ``clear_registry()``) and always results in
+the same registrations, independent of call order.
 
 Scenarios tagged ``smoke`` form a small fast subset exercised by
 ``make verify``; keep them cheap (≲ a dozen hosts each).
 
 To add a scenario: pick (or write) a generator in
-:mod:`repro.netsim.generators`, then register an instance here with
+:mod:`repro.netsim.generators`, then register an instance inside
+:func:`load_catalog` with
 :func:`~repro.scenarios.registry.register_scenario` — the keyword arguments
 of the decorator are the scenario's parameters, hashed into its identity and
 passed verbatim to the builder.
@@ -36,35 +41,23 @@ from ..netsim import (
 )
 from .registry import register_scenario
 
-__all__ = []  # the catalog only has the side effect of registering
+__all__ = ["load_catalog"]
 
+
+# Builders live at module level so scenarios stay picklable by reference
+# (the sweep pool ships Scenario objects to spawn/fork workers).
 
 # --- the paper's case study --------------------------------------------------
-@register_scenario(
-    "ens-lyon", family="paper",
-    description="The ENS-Lyon LAN of Figure 1(a), mapped from the-doors")
 def _ens_lyon():
     return build_ens_lyon()
 
 
 # --- seeded synthetic constellations (pre-existing generator) ----------------
-@register_scenario(
-    "synthetic-3site", family="synthetic",
-    description="Three-site constellation, mixed hub/switch clusters",
-    sites=3, seed=7)
-@register_scenario(
-    "synthetic-2site", family="synthetic",
-    description="Two-site constellation, mixed hub/switch clusters",
-    sites=2, seed=3)
 def _synthetic(sites, seed):
     return generate_constellation(SyntheticSpec(
         sites=sites, seed=seed, hosts_per_cluster=(3, 4)))
 
 
-@register_scenario(
-    "synthetic-firewalled", family="synthetic",
-    description="Two-site constellation with every cluster firewalled",
-    sites=2, seed=9, firewall_probability=1.0)
 def _synthetic_firewalled(sites, seed, firewall_probability):
     return generate_constellation(SyntheticSpec(
         sites=sites, seed=seed, firewall_probability=firewall_probability,
@@ -72,41 +65,17 @@ def _synthetic_firewalled(sites, seed, firewall_probability):
 
 
 # --- multi-site WAN grids ----------------------------------------------------
-@register_scenario(
-    "wan-grid-3x2", family="wan-grid",
-    description="3×2 site grid, heterogeneous backbone links",
-    rows=3, cols=2, seed=23)
-@register_scenario(
-    "wan-grid-2x2", family="wan-grid",
-    description="2×2 site grid, heterogeneous backbone links",
-    rows=2, cols=2, seed=11)
 def _wan_grid(rows, cols, seed):
     return generate_wan_grid(WanGridSpec(rows=rows, cols=cols, seed=seed))
 
 
 # --- campus topologies -------------------------------------------------------
-@register_scenario(
-    "campus-natted", family="campus",
-    description="Four departments, two behind NAT-style firewalls",
-    departments=4, firewalled=2, seed=17)
-@register_scenario(
-    "campus-open", family="campus", tags=("smoke",),
-    description="Three open departments behind one core router",
-    departments=3, firewalled=0, seed=5)
 def _campus(departments, firewalled, seed):
     return generate_campus(CampusSpec(
         departments=departments, firewalled_departments=firewalled, seed=seed))
 
 
 # --- fat-tree LANs -----------------------------------------------------------
-@register_scenario(
-    "fat-tree-3x2", family="fat-tree",
-    description="Three pods of two edge switches, three hosts each",
-    pods=3, edges_per_pod=2, hosts_per_edge=3)
-@register_scenario(
-    "fat-tree-2x2", family="fat-tree", tags=("smoke",),
-    description="Two pods of two edge switches, three hosts each",
-    pods=2, edges_per_pod=2, hosts_per_edge=3)
 def _fat_tree(pods, edges_per_pod, hosts_per_edge):
     return generate_fat_tree(FatTreeSpec(
         pods=pods, edges_per_pod=edges_per_pod,
@@ -114,35 +83,89 @@ def _fat_tree(pods, edges_per_pod, hosts_per_edge):
 
 
 # --- star LANs ---------------------------------------------------------------
-@register_scenario(
-    "star-switch-12", family="star",
-    description="Twelve hosts on one switch",
-    hosts=12, kind="switch")
-@register_scenario(
-    "star-hub-8", family="star", tags=("smoke",),
-    description="Eight hosts sharing one hub segment",
-    hosts=8, kind="hub")
 def _star(hosts, kind):
     return generate_star(StarSpec(hosts=hosts, kind=kind))
 
 
 # --- WAN rings ---------------------------------------------------------------
-@register_scenario(
-    "ring-6", family="ring",
-    description="Six sites on a WAN ring, heterogeneous ring links",
-    sites=6, seed=29)
-@register_scenario(
-    "ring-4", family="ring",
-    description="Four sites on a WAN ring, heterogeneous ring links",
-    sites=4, seed=13)
 def _ring(sites, seed):
     return generate_ring(RingSpec(sites=sites, seed=seed))
 
 
 # --- degraded platforms ------------------------------------------------------
-@register_scenario(
-    "degraded-asym", family="degraded", tags=("smoke",),
-    description="Asymmetric inter-site routes plus a lossy mis-VLANed hub",
-    hosts_per_cluster=3)
 def _degraded(hosts_per_cluster):
     return generate_degraded(DegradedSpec(hosts_per_cluster=hosts_per_cluster))
+
+
+def load_catalog() -> None:
+    """(Re-)register every built-in scenario.  Idempotent."""
+    register_scenario(
+        "ens-lyon", family="paper",
+        description="The ENS-Lyon LAN of Figure 1(a), mapped from the-doors",
+    )(_ens_lyon)
+
+    register_scenario(
+        "synthetic-2site", family="synthetic",
+        description="Two-site constellation, mixed hub/switch clusters",
+        sites=2, seed=3)(_synthetic)
+    register_scenario(
+        "synthetic-3site", family="synthetic",
+        description="Three-site constellation, mixed hub/switch clusters",
+        sites=3, seed=7)(_synthetic)
+    register_scenario(
+        "synthetic-firewalled", family="synthetic",
+        description="Two-site constellation with every cluster firewalled",
+        sites=2, seed=9, firewall_probability=1.0)(_synthetic_firewalled)
+
+    register_scenario(
+        "wan-grid-2x2", family="wan-grid",
+        description="2×2 site grid, heterogeneous backbone links",
+        rows=2, cols=2, seed=11)(_wan_grid)
+    register_scenario(
+        "wan-grid-3x2", family="wan-grid",
+        description="3×2 site grid, heterogeneous backbone links",
+        rows=3, cols=2, seed=23)(_wan_grid)
+
+    register_scenario(
+        "campus-open", family="campus", tags=("smoke",),
+        description="Three open departments behind one core router",
+        departments=3, firewalled=0, seed=5)(_campus)
+    register_scenario(
+        "campus-natted", family="campus",
+        description="Four departments, two behind NAT-style firewalls",
+        departments=4, firewalled=2, seed=17)(_campus)
+
+    register_scenario(
+        "fat-tree-2x2", family="fat-tree", tags=("smoke",),
+        description="Two pods of two edge switches, three hosts each",
+        pods=2, edges_per_pod=2, hosts_per_edge=3)(_fat_tree)
+    register_scenario(
+        "fat-tree-3x2", family="fat-tree",
+        description="Three pods of two edge switches, three hosts each",
+        pods=3, edges_per_pod=2, hosts_per_edge=3)(_fat_tree)
+
+    register_scenario(
+        "star-hub-8", family="star", tags=("smoke",),
+        description="Eight hosts sharing one hub segment",
+        hosts=8, kind="hub")(_star)
+    register_scenario(
+        "star-switch-12", family="star",
+        description="Twelve hosts on one switch",
+        hosts=12, kind="switch")(_star)
+
+    register_scenario(
+        "ring-4", family="ring",
+        description="Four sites on a WAN ring, heterogeneous ring links",
+        sites=4, seed=13)(_ring)
+    register_scenario(
+        "ring-6", family="ring",
+        description="Six sites on a WAN ring, heterogeneous ring links",
+        sites=6, seed=29)(_ring)
+
+    register_scenario(
+        "degraded-asym", family="degraded", tags=("smoke",),
+        description="Asymmetric inter-site routes plus a lossy mis-VLANed hub",
+        hosts_per_cluster=3)(_degraded)
+
+
+load_catalog()

@@ -27,8 +27,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..netsim.topology import Platform
 
-__all__ = ["Scenario", "register_scenario", "get_scenario", "list_scenarios",
-           "scenario_names", "clear_registry"]
+__all__ = ["Scenario", "register", "register_scenario", "get_scenario",
+           "list_scenarios", "scenario_names", "clear_registry",
+           "registry_snapshot", "restore_registry"]
 
 _REGISTRY: Dict[str, "Scenario"] = {}
 
@@ -85,6 +86,31 @@ class Scenario:
         return any(needle in h.lower() for h in haystacks)
 
 
+def register(scenario: Scenario) -> Scenario:
+    """Register a scenario instance; idempotent for identical definitions.
+
+    Re-registering the *same* scenario (same name, type, content hash,
+    description, tags and builder function) replaces the stored entry — so
+    reloading the catalog after a :func:`clear_registry` (or in another
+    test) is safe and order-independent.  Registering a *different* scenario
+    under an existing name is still an error; a changed builder counts as
+    different even when the parameters match, because the cache key would
+    not (cached results of the old builder would be served for the new one).
+    """
+    scenario.content_hash  # fail early on non-serialisable parameters
+    existing = _REGISTRY.get(scenario.name)
+    if existing is not None and not (
+            type(existing) is type(scenario)
+            and existing.content_hash == scenario.content_hash
+            and existing.description == scenario.description
+            and existing.tags == scenario.tags
+            and existing.builder is scenario.builder):
+        raise ValueError(f"duplicate scenario name {scenario.name!r} "
+                         "(with a different definition)")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
 def register_scenario(name: str, *, family: str, description: str = "",
                       tags: Tuple[str, ...] = (), **params
                       ) -> Callable[[Callable[..., Platform]],
@@ -95,14 +121,10 @@ def register_scenario(name: str, *, family: str, description: str = "",
     the decorated builder when the scenario is built.
     """
     def decorator(builder: Callable[..., Platform]) -> Callable[..., Platform]:
-        if name in _REGISTRY:
-            raise ValueError(f"duplicate scenario name {name!r}")
-        scenario = Scenario(name=name, family=family, description=description,
-                            tags=tuple(tags),
-                            params=tuple(sorted(params.items())),
-                            builder=builder)
-        scenario.content_hash  # fail early on non-serialisable parameters
-        _REGISTRY[name] = scenario
+        register(Scenario(name=name, family=family, description=description,
+                          tags=tuple(tags),
+                          params=tuple(sorted(params.items())),
+                          builder=builder))
         return builder
     return decorator
 
@@ -129,3 +151,14 @@ def scenario_names(pattern: Optional[str] = None) -> List[str]:
 def clear_registry() -> None:
     """Drop all registrations (for tests only)."""
     _REGISTRY.clear()
+
+
+def registry_snapshot() -> Dict[str, "Scenario"]:
+    """A shallow copy of the current registrations (for save/restore)."""
+    return dict(_REGISTRY)
+
+
+def restore_registry(snapshot: Dict[str, "Scenario"]) -> None:
+    """Reset the registry to a previously taken snapshot."""
+    _REGISTRY.clear()
+    _REGISTRY.update(snapshot)

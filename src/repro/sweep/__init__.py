@@ -1,6 +1,12 @@
 """Batch sweep engine: run the pipeline over many scenarios, in parallel."""
 
-from .results import SweepRecord, append_jsonl, load_jsonl, summary_rows
+from .results import (
+    SweepRecord,
+    append_jsonl,
+    load_jsonl,
+    records_json,
+    summary_rows,
+)
 from .runner import (
     DEFAULT_BASELINES,
     DEFAULT_CACHE_DIR,
@@ -13,6 +19,7 @@ from .runner import (
 
 __all__ = [
     "SweepRecord", "append_jsonl", "load_jsonl", "summary_rows",
+    "records_json",
     "SweepResult", "run_sweep", "run_scenario",
     "cache_path", "code_version",
     "DEFAULT_CACHE_DIR", "DEFAULT_BASELINES",

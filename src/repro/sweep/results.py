@@ -7,7 +7,8 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["SweepRecord", "append_jsonl", "load_jsonl", "summary_rows"]
+__all__ = ["SweepRecord", "append_jsonl", "load_jsonl", "summary_rows",
+           "records_json"]
 
 
 @dataclass
@@ -58,8 +59,17 @@ def load_jsonl(path: str) -> List[SweepRecord]:
     return records
 
 
+def _rounded(summary: Dict[str, object], key: str, digits: int) -> object:
+    value = summary.get(key)
+    return round(value, digits) if isinstance(value, (int, float)) else ""
+
+
 def summary_rows(records: Sequence[SweepRecord]) -> List[Dict[str, object]]:
-    """One flat table row per record (for :func:`analysis.report.render_table`)."""
+    """One flat table row per record (for :func:`analysis.report.render_table`).
+
+    Rows are sorted by scenario name — deterministic regardless of the order
+    parallel workers completed in or of cache-hit interleaving.
+    """
     rows: List[Dict[str, object]] = []
     for record in sorted(records, key=lambda r: r.scenario):
         row: Dict[str, object] = {
@@ -70,17 +80,22 @@ def summary_rows(records: Sequence[SweepRecord]) -> List[Dict[str, object]]:
         summary = record.summary or {}
         row.update({
             "hosts": summary.get("hosts", ""),
+            "epochs": summary.get("epochs", ""),
             "cliques": summary.get("cliques", ""),
             "collisions": summary.get("collisions", ""),
             "harmful": summary.get("harmful_collisions", ""),
-            "completeness": (round(summary["completeness"], 3)
-                             if "completeness" in summary else ""),
-            "bw_err": (round(summary["bandwidth_error"], 3)
-                       if "bandwidth_error" in summary else ""),
-            "worst_period_s": (round(summary["worst_period_s"], 1)
-                               if "worst_period_s" in summary else ""),
+            "completeness": _rounded(summary, "completeness", 3),
+            "bw_err": _rounded(summary, "bandwidth_error", 3),
+            "worst_period_s": _rounded(summary, "worst_period_s", 1),
             "measurements": summary.get("measurements", ""),
             "elapsed_s": round(record.elapsed_s, 3),
         })
         rows.append(row)
     return rows
+
+
+def records_json(records: Sequence[SweepRecord], indent: int = 2) -> str:
+    """The records as a deterministic JSON array (sorted by scenario name)."""
+    payload = [asdict(record)
+               for record in sorted(records, key=lambda r: r.scenario)]
+    return json.dumps(payload, sort_keys=True, indent=indent)

@@ -6,18 +6,21 @@ scenario (:func:`repro.pipeline.run_pipeline`), caches each result on disk
 keyed by scenario content hash + code version, and aggregates the outcomes
 into a JSONL result store plus summary rows.
 
-Cache layout (one file per scenario × code state)::
+Cache layout (one file per scenario × code state × run parameters)::
 
-    <cache_dir>/<scenario>-<scenario_hash[:12]>-<code_version[:12]>.json
+    <cache_dir>/<scenario>-<scenario_hash[:12]>-<code_version[:12]>-<run_key[:8]>.json
 
 A cached scenario is *not* re-run unless ``rerun=True``; editing any source
 file under ``src/repro`` changes the code version and invalidates the whole
-cache, editing a scenario's parameters invalidates that scenario only.
+cache, editing a scenario's parameters invalidates that scenario only, and
+sweeping with different run parameters (``period_s`` / ``baselines``) uses
+separate cache entries.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import multiprocessing
 import os
 import time
@@ -27,6 +30,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import render_table
+from ..dynamics import DynamicScenario, run_replay
 from ..pipeline import run_pipeline
 from ..scenarios import Scenario, get_scenario, list_scenarios
 from .results import SweepRecord, append_jsonl, summary_rows
@@ -60,12 +64,33 @@ def code_version() -> str:
     return digest.hexdigest()
 
 
-def cache_path(cache_dir: str, scenario_name: str) -> str:
-    """The cache file a result for ``scenario_name`` lives in."""
+def _run_key(period_s: float, baselines: Sequence[str]) -> str:
+    """Short digest of the run parameters that shape a scenario's result."""
+    payload = json.dumps({"period_s": period_s,
+                          "baselines": sorted(baselines)},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:8]
+
+
+def cache_path(cache_dir: str, scenario_name: str,
+               period_s: float = 60.0,
+               baselines: Sequence[str] = DEFAULT_BASELINES) -> str:
+    """The cache file a result for ``scenario_name`` lives in.
+
+    The key couples the scenario's content hash, the code version and the
+    run parameters (period, baselines), so results recorded under different
+    sweep flags are never served for one another.  Dynamic scenarios ignore
+    ``baselines`` at run time (a replay has no baseline stage), so it is
+    excluded from their key — a ``--baselines`` change never forces their
+    expensive multi-epoch replays to re-run.
+    """
     scenario = get_scenario(scenario_name)
+    if isinstance(scenario, DynamicScenario):
+        baselines = ()
     return os.path.join(
         cache_dir,
-        f"{scenario.name}-{scenario.content_hash[:12]}-{code_version()[:12]}.json")
+        f"{scenario.name}-{scenario.content_hash[:12]}-{code_version()[:12]}"
+        f"-{_run_key(period_s, baselines)}.json")
 
 
 def run_scenario(scenario_or_name: "Scenario | str",
@@ -75,7 +100,13 @@ def run_scenario(scenario_or_name: "Scenario | str",
 
     Accepts a :class:`Scenario` directly (what the pool workers receive, so a
     spawn-started worker never has to consult the parent's registry) or a
-    registered scenario name.
+    registered scenario name.  Dynamic scenarios are replayed over their
+    churn schedule instead of running the one-shot pipeline; their records
+    carry the epoch-aware replay digest (``summary["epoch_records"]``), the
+    ``baselines`` parameter does not apply to them (a replay has no baseline
+    stage), and the cache key inherits the schedule identity because the
+    scenario's content hash covers every churn parameter plus the base
+    platform hash.
     """
     start = time.perf_counter()
     name = (scenario_or_name.name if isinstance(scenario_or_name, Scenario)
@@ -84,8 +115,12 @@ def run_scenario(scenario_or_name: "Scenario | str",
     try:
         scenario = (scenario_or_name if isinstance(scenario_or_name, Scenario)
                     else get_scenario(scenario_or_name))
-        platform = scenario.build()
-        result = run_pipeline(platform, period_s=period_s, baselines=baselines)
+        if isinstance(scenario, DynamicScenario):
+            summary = run_replay(scenario, period_s=period_s).summary()
+        else:
+            platform = scenario.build()
+            summary = run_pipeline(platform, period_s=period_s,
+                                   baselines=baselines).summary()
         return SweepRecord(
             scenario=scenario.name,
             family=scenario.family,
@@ -93,7 +128,7 @@ def run_scenario(scenario_or_name: "Scenario | str",
             code_version=code_version(),
             status="ok",
             elapsed_s=time.perf_counter() - start,
-            summary=result.summary(),
+            summary=summary,
         )
     except Exception:
         return SweepRecord(
@@ -189,10 +224,14 @@ def run_sweep(names: Optional[Sequence[str]] = None,
                          f"(pattern={pattern!r}, names={names!r})")
     os.makedirs(cache_dir, exist_ok=True)
 
+    def _path(name: str) -> str:
+        return cache_path(cache_dir, name, period_s=period_s,
+                          baselines=baselines)
+
     records: Dict[str, SweepRecord] = {}
     todo: List[str] = []
     for name in selected:
-        cached = None if rerun else _load_cached(cache_path(cache_dir, name))
+        cached = None if rerun else _load_cached(_path(name))
         if cached is not None:
             cached.cached = True
             records[name] = cached
@@ -210,7 +249,7 @@ def run_sweep(names: Optional[Sequence[str]] = None,
     for record in fresh:
         records[record.scenario] = record
         if record.ok:
-            with open(cache_path(cache_dir, record.scenario), "w",
+            with open(_path(record.scenario), "w",
                       encoding="utf-8") as handle:
                 handle.write(record.to_json() + "\n")
 

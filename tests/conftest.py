@@ -13,6 +13,20 @@ import pytest
 from repro.core import plan_from_view
 from repro.env import map_ens_lyon, map_platform
 from repro.netsim import PRIVATE_HOSTS, PUBLIC_HOSTS, build_ens_lyon
+from repro.scenarios import registry_snapshot, restore_registry
+
+
+@pytest.fixture(autouse=True)
+def _scenario_registry_isolation():
+    """Restore the scenario registry around every test.
+
+    Tests may clear the registry or register throwaway scenarios; without
+    this fixture the visible registrations (and therefore scenario listings,
+    sweep selections and cache keys) would depend on test execution order.
+    """
+    snapshot = registry_snapshot()
+    yield
+    restore_registry(snapshot)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,473 @@
+"""Tests of repro.dynamics: churn, monitoring, incremental remap, replay."""
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.cli import main
+from repro.core import plan_from_view
+from repro.dynamics import (
+    ChurnSpec,
+    DeploymentMonitor,
+    DynamicScenario,
+    apply_epoch,
+    full_remap,
+    generate_schedule,
+    incremental_remap,
+    list_dynamic_scenarios,
+    plan_similarity,
+    register_dynamic_scenario,
+    run_replay,
+)
+from repro.dynamics.monitor import DriftReport
+from repro.env import map_platform
+from repro.netsim import generate_single_site, ground_truth_groups
+from repro.netsim.generators import WanGridSpec, generate_wan_grid
+from repro.scenarios import get_scenario
+from repro.sweep import run_sweep
+
+
+@pytest.fixture
+def grid():
+    """A 2x2 WAN grid: redundant backbone, four LAN clusters."""
+    return generate_wan_grid(WanGridSpec(rows=2, cols=2, seed=11))
+
+
+@pytest.fixture
+def two_cluster():
+    """One site with a hub cluster and a switch cluster (deterministic)."""
+    return generate_single_site(n_hub_clusters=1, n_switch_clusters=1,
+                                hosts_per_cluster=4)
+
+
+class TestTopologyMutation:
+    def test_set_link_bandwidth_and_latency(self, grid):
+        name = next(iter(grid.links))
+        grid.set_link_bandwidth(name, 42.0)
+        grid.set_link_latency(name, 0.5)
+        assert grid.links[name].bandwidth_mbps == 42.0
+        assert grid.links[name].latency_s == 0.5
+        with pytest.raises(ValueError):
+            grid.set_link_bandwidth(name, 0.0)
+        with pytest.raises(ValueError):
+            grid.set_link_latency(name, -1.0)
+
+    def test_remove_and_restore_link(self, grid):
+        # The grid backbone is redundant: removing one ring edge keeps paths.
+        link = grid.remove_link("bb-r0c0--bb-r0c1")
+        assert "bb-r0c0--bb-r0c1" not in grid.links
+        assert not grid.graph.has_edge("bb-r0c0", "bb-r0c1")
+        assert nx.is_connected(grid.graph)
+        # Routes recompute around the failure.
+        route = grid.route("g0h0", "g1h0")
+        assert ("bb-r0c0", "bb-r0c1") not in \
+            set(zip(route.nodes, route.nodes[1:]))
+        grid.restore_link(link)
+        assert grid.graph.has_edge("bb-r0c0", "bb-r0c1")
+
+    def test_remove_host_drops_links_and_overrides(self, grid):
+        host = grid.host_names()[-1]
+        neighbour = grid.host_names()[0]
+        path = grid.route(neighbour, host).nodes
+        grid.set_route(neighbour, host, path)
+        grid.remove_host(host)
+        assert host not in grid.nodes
+        assert all(host not in (l.a, l.b) for l in grid.links.values())
+        assert (neighbour, host) not in grid.route_overrides
+
+    def test_only_hosts_can_be_removed(self, grid):
+        with pytest.raises(ValueError, match="only hosts"):
+            grid.remove_host("bb-r0c0")
+        with pytest.raises(KeyError):
+            grid.remove_host("no-such-node")
+
+
+class TestChurnSchedule:
+    def test_generation_is_deterministic(self, grid):
+        spec = ChurnSpec(epochs=8, seed=5, drift_rate=1.0, failure_rate=0.3,
+                         join_rate=0.2, leave_rate=0.2, flap_rate=0.2)
+        a = generate_schedule(grid, spec)
+        b = generate_schedule(generate_wan_grid(
+            WanGridSpec(rows=2, cols=2, seed=11)), spec)
+        assert a.digest() == b.digest()
+        assert [e.describe() for e in a.events] == \
+            [e.describe() for e in b.events]
+
+    def test_different_seeds_differ(self, grid):
+        a = generate_schedule(grid, ChurnSpec(epochs=8, seed=1, drift_rate=2.0))
+        b = generate_schedule(grid, ChurnSpec(epochs=8, seed=2, drift_rate=2.0))
+        assert a.digest() != b.digest()
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(epochs=0)
+        with pytest.raises(ValueError):
+            ChurnSpec(drift_factor_range=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            ChurnSpec(repair_delay=0)
+
+    def test_apply_bandwidth_drift(self, grid):
+        name = "bb-r0c0--bb-r0c1"
+        before = grid.links[name].bandwidth_mbps
+        spec = ChurnSpec(epochs=1, seed=0)
+        schedule = generate_schedule(grid, spec)
+        from repro.dynamics import ChurnEvent
+        schedule.events = [ChurnEvent(epoch=1, kind="bandwidth_drift",
+                                      target=name, factor=0.5)]
+        delta = apply_epoch(grid, schedule, 1)
+        assert [e.target for e in delta.applied] == [name]
+        assert not delta.structural
+        assert grid.links[name].bandwidth_mbps == pytest.approx(before * 0.5)
+
+    def test_failure_and_repair_keep_platform_connected(self, grid):
+        spec = ChurnSpec(epochs=10, seed=3, drift_rate=0.0, failure_rate=0.9)
+        schedule = generate_schedule(grid, spec)
+        downs = [e for e in schedule.events if e.kind == "link_down"]
+        assert downs, "expected at least one failure on a redundant grid"
+        for epoch in range(1, 11):
+            apply_epoch(grid, schedule, epoch)
+            assert nx.is_connected(grid.graph), f"disconnected at {epoch}"
+        # After the last scheduled repair every failed link is back.
+        assert all(e.target in grid.links for e in downs)
+
+    def test_join_and_leave_update_membership_and_ground_truth(self, grid):
+        spec = ChurnSpec(epochs=10, seed=7, drift_rate=0.0,
+                         join_rate=0.9, leave_rate=0.9)
+        schedule = generate_schedule(grid, spec)
+        joined = {e.partner for e in schedule.events if e.kind == "host_join"}
+        left = {e.target for e in schedule.events if e.kind == "host_leave"}
+        assert joined and left
+        master = grid.host_names()[0]
+        for epoch in range(1, 11):
+            apply_epoch(grid, schedule, epoch)
+        assert master in grid.nodes, "the master must never leave"
+        hosts = set(grid.host_names())
+        assert joined <= hosts
+        assert not (left & hosts)
+        truth_hosts = {h for spec_ in ground_truth_groups(grid).values()
+                       for h in spec_["hosts"]}
+        assert truth_hosts == hosts
+        # New hosts are fully routable and got unique addresses.
+        for host in joined:
+            assert grid.route(master, host).nodes[-1] == host
+        ips = [str(n.ip) for n in grid.nodes.values() if n.ip is not None]
+        assert len(ips) == len(set(ips))
+
+    def test_route_flap_toggles_detour(self, grid):
+        from repro.dynamics import ChurnEvent
+        schedule = generate_schedule(grid, ChurnSpec(epochs=2, seed=0))
+        src, dst = "g0h0", "g3h0"
+        baseline = grid.route(src, dst).nodes
+        schedule.events = [
+            ChurnEvent(epoch=1, kind="route_flap", target=src, partner=dst),
+            ChurnEvent(epoch=2, kind="route_flap", target=src, partner=dst),
+        ]
+        delta = apply_epoch(grid, schedule, 1)
+        assert delta.applied and delta.structural
+        assert grid.route(src, dst).nodes != baseline
+        apply_epoch(grid, schedule, 2)
+        assert grid.route(src, dst).nodes == baseline
+
+    def test_opposite_orientation_flaps_toggle_not_stack(self, grid):
+        from repro.dynamics import ChurnEvent
+        schedule = generate_schedule(grid, ChurnSpec(epochs=2, seed=0))
+        src, dst = "g0h0", "g3h0"
+        schedule.events = [
+            ChurnEvent(epoch=1, kind="route_flap", target=src, partner=dst),
+            ChurnEvent(epoch=2, kind="route_flap", target=dst, partner=src),
+        ]
+        apply_epoch(grid, schedule, 1)
+        apply_epoch(grid, schedule, 2)
+        assert grid.route_overrides == {}
+
+    def test_stale_events_are_skipped_not_fatal(self, grid):
+        from repro.dynamics import ChurnEvent
+        schedule = generate_schedule(grid, ChurnSpec(epochs=1, seed=0))
+        schedule.events = [ChurnEvent(epoch=1, kind="bandwidth_drift",
+                                      target="no-such-link", factor=2.0)]
+        delta = apply_epoch(grid, schedule, 1)
+        assert delta.applied == []
+        assert len(delta.skipped) == 1
+
+
+class TestMonitor:
+    def _deploy(self, platform):
+        master = platform.host_names()[0]
+        view = map_platform(platform, master)
+        plan = plan_from_view(view)
+        return view, plan
+
+    def test_quiet_platform_reports_no_drift(self, two_cluster):
+        view, plan = self._deploy(two_cluster)
+        monitor = DeploymentMonitor(two_cluster, view, plan)
+        for epoch in range(1, 4):
+            report = monitor.observe_epoch(epoch)
+            assert report.quiet
+            assert report.measurements > 0
+
+    def test_bandwidth_collapse_is_detected_and_located(self, two_cluster):
+        view, plan = self._deploy(two_cluster)
+        monitor = DeploymentMonitor(two_cluster, view, plan,
+                                    drift_threshold=0.25)
+        assert monitor.observe_epoch(1).quiet
+        # Collapse the hub segment: every member link plus the hub capacity.
+        hub = next(n for n in two_cluster.nodes.values() if n.is_hub)
+        hub.bandwidth_mbps *= 0.2
+        for neighbour in list(two_cluster.graph.neighbors(hub.name)):
+            link = two_cluster.link_between(hub.name, neighbour)
+            two_cluster.set_link_bandwidth(link.name,
+                                           link.bandwidth_mbps * 0.2)
+        report = monitor.observe_epoch(2)
+        assert report.drifted_pairs
+        assert not report.structure_changed
+        # The flagged networks include the degraded hub cluster.
+        hub_hosts = {n for n in two_cluster.graph.neighbors(hub.name)
+                     if two_cluster.nodes[n].is_host}
+        leaves = {net.label: set(net.hosts)
+                  for net in view.classified_networks()}
+        assert any(leaves[label] & hub_hosts
+                   for label in report.suspect_labels if label in leaves)
+
+    def test_membership_change_flags_structure(self, two_cluster):
+        view, plan = self._deploy(two_cluster)
+        monitor = DeploymentMonitor(two_cluster, view, plan)
+        leaver = plan.hosts[-1]
+        two_cluster.remove_host(leaver)
+        report = monitor.observe_epoch(1)
+        assert report.structure_changed
+        assert any("left" in reason for reason in report.reasons)
+
+    def test_reroute_flags_structure(self, grid):
+        view, plan = self._deploy(grid)
+        monitor = DeploymentMonitor(grid, view, plan)
+        grid.remove_link("bb-r0c0--bb-r0c1")
+        report = monitor.observe_epoch(1)
+        assert report.structure_changed
+        assert any("route" in reason for reason in report.reasons)
+
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_flap_on_measured_pair_flags_structure(self, grid, reverse):
+        from repro.dynamics import ChurnEvent
+        view, plan = self._deploy(grid)
+        monitor = DeploymentMonitor(grid, view, plan)
+        schedule = generate_schedule(grid, ChurnSpec(epochs=1, seed=0))
+        # Flap a watched pair (in either orientation) whose route actually
+        # has an alternative.
+        flapped = None
+        for pair in monitor.watched_pairs():
+            a, b = pair[::-1] if reverse else pair
+            schedule.events = [ChurnEvent(epoch=1, kind="route_flap",
+                                          target=a, partner=b)]
+            if apply_epoch(grid, schedule, 1).applied:
+                flapped = (a, b)
+                break
+        assert flapped is not None, "no flappable measured pair on the grid"
+        report = monitor.observe_epoch(1)
+        assert report.structure_changed
+        assert any("->".join(flapped) in reason
+                   for reason in report.reasons)
+
+
+class TestIncrementalRemap:
+    def test_patch_refreshes_only_suspect_leaf(self, two_cluster):
+        master = two_cluster.host_names()[0]
+        view = map_platform(two_cluster, master)
+        hub = next(n for n in two_cluster.nodes.values() if n.is_hub)
+        hub_hosts = {n for n in two_cluster.graph.neighbors(hub.name)
+                     if two_cluster.nodes[n].is_host}
+        hub_leaf = next(net for net in view.classified_networks()
+                        if set(net.hosts) & hub_hosts)
+        other_leaves = [net for net in view.classified_networks()
+                        if net is not hub_leaf]
+        # Degrade the hub segment, then patch only its leaf.
+        hub.bandwidth_mbps *= 0.1
+        for neighbour in list(two_cluster.graph.neighbors(hub.name)):
+            link = two_cluster.link_between(hub.name, neighbour)
+            two_cluster.set_link_bandwidth(link.name,
+                                           link.bandwidth_mbps * 0.1)
+        report = DriftReport(epoch=1, drifted_pairs=[tuple(sorted(hub_hosts))[:2]],
+                             suspect_labels=[hub_leaf.label])
+        result = incremental_remap(two_cluster, view, report)
+        assert result.mode == "incremental"
+        assert result.refreshed_labels
+        patched = {net.label: net for net in
+                   result.view.classified_networks()}
+        refreshed = patched[result.refreshed_labels[0]]
+        assert refreshed.local_bandwidth_mbps < \
+            (hub_leaf.local_bandwidth_mbps or 1e9)
+        # Untouched leaves keep their measured values verbatim.
+        for old in other_leaves:
+            assert patched[old.label].base_bandwidth_mbps == \
+                old.base_bandwidth_mbps
+        # The original view is never mutated.
+        assert view.classified_networks()[0].hosts
+
+    def test_incremental_is_much_cheaper_than_full(self, grid):
+        master = grid.host_names()[0]
+        view = map_platform(grid, master)
+        leaf = view.classified_networks()[0]
+        report = DriftReport(epoch=1, drifted_pairs=[("x", "y")],
+                             suspect_labels=[leaf.label])
+        patch = incremental_remap(grid, view, report)
+        full = full_remap(grid, master)
+        assert patch.mode == "incremental"
+        assert patch.stats.measurements * 3 <= full.stats.measurements
+
+    def test_structure_change_falls_back_to_full(self, two_cluster):
+        master = two_cluster.host_names()[0]
+        view = map_platform(two_cluster, master)
+        report = DriftReport(epoch=1, structure_changed=True,
+                             reasons=["hosts left: c0h3"])
+        two_cluster.remove_host("c0h3")
+        result = incremental_remap(two_cluster, view, report)
+        assert result.mode == "full"
+        assert "c0h3" not in result.view.machines
+
+    def test_wide_drift_falls_back_to_full(self, two_cluster):
+        master = two_cluster.host_names()[0]
+        view = map_platform(two_cluster, master)
+        labels = [net.label for net in view.classified_networks()]
+        report = DriftReport(epoch=1, drifted_pairs=[("a", "b")],
+                             suspect_labels=labels)
+        result = incremental_remap(two_cluster, view, report,
+                                   full_fraction=0.5)
+        assert result.mode == "full"
+
+    def test_no_drift_is_a_no_op(self, two_cluster):
+        master = two_cluster.host_names()[0]
+        view = map_platform(two_cluster, master)
+        result = incremental_remap(two_cluster, view, DriftReport(epoch=1))
+        assert result.mode == "none"
+        assert result.view is view
+        assert result.stats.measurements == 0
+
+
+class TestDynamicScenarios:
+    def test_catalog_registers_eight_dynamic_scenarios(self):
+        assert len(list_dynamic_scenarios()) >= 8
+
+    def test_hash_covers_base_and_churn_params(self):
+        a = register_dynamic_scenario(
+            "test-dyn-a", base="star-hub-8", epochs=5, seed=1)
+        b = register_dynamic_scenario(
+            "test-dyn-b", base="star-hub-8", epochs=5, seed=2)
+        c = register_dynamic_scenario(
+            "test-dyn-c", base="ring-4", epochs=5, seed=1)
+        hashes = {a.content_hash, b.content_hash, c.content_hash}
+        assert len(hashes) == 3
+        assert a.param_dict["base_hash"] == \
+            get_scenario("star-hub-8").content_hash
+
+    def test_registration_is_idempotent(self):
+        before = get_scenario("dyn-wan-drift")
+        from repro.dynamics.catalog import load_dynamic_catalog
+        load_dynamic_catalog()
+        after = get_scenario("dyn-wan-drift")
+        assert after.content_hash == before.content_hash
+
+    def test_build_returns_the_base_platform(self):
+        scenario = get_scenario("dyn-hub-flash")
+        assert isinstance(scenario, DynamicScenario)
+        platform = scenario.build()
+        assert platform.host_names() == \
+            get_scenario("star-hub-8").build().host_names()
+
+    def test_schedule_is_deterministic_per_scenario(self):
+        scenario = get_scenario("dyn-wan-drift")
+        p1, p2 = scenario.build(), scenario.build()
+        assert scenario.build_schedule(p1).digest() == \
+            scenario.build_schedule(p2).digest()
+
+
+class TestReplay:
+    def test_replay_runs_at_least_ten_epochs_end_to_end(self):
+        result = run_replay("dyn-wan-drift")
+        assert len(result.records) >= 10
+        assert result.hosts_initial > 0
+        final = result.records[-1]
+        assert final.completeness is not None
+        assert 0.0 <= result.mean_stability <= 1.0
+        json.dumps(result.summary())        # sweep-record compatible
+
+    def test_replay_reacts_to_detected_drift(self):
+        result = run_replay("dyn-wan-drift")
+        counts = result.remap_counts
+        assert counts["incremental"] + counts["full"] >= 1
+        assert counts["none"] >= 1
+
+    def test_membership_churn_forces_full_remaps(self):
+        result = run_replay("dyn-campus-churn")
+        assert result.remap_counts["full"] >= 1
+        assert result.hosts_final != result.hosts_initial
+
+    def test_epoch_override_and_validation(self):
+        result = run_replay("dyn-hub-flash", epochs=3)
+        assert len(result.records) == 3
+        with pytest.raises(ValueError):
+            run_replay("dyn-hub-flash", epochs=0)
+        with pytest.raises(ValueError, match="not a dynamic scenario"):
+            run_replay("star-hub-8")
+
+    def test_oracle_track_reports_cost_and_quality(self):
+        result = run_replay("dyn-ring-degrade", oracle=True)
+        assert result.oracle_measurements > 0
+        gaps = result.quality_gaps()
+        assert set(gaps) == {"completeness", "bandwidth_error"}
+
+    def test_plan_similarity_metric(self):
+        from repro.core.plan import Clique, DeploymentPlan
+        a = DeploymentPlan(hosts=["a", "b", "c"], cliques=[
+            Clique(name="x", hosts=("a", "b"))])
+        b = DeploymentPlan(hosts=["a", "b", "c"], cliques=[
+            Clique(name="y", hosts=("a", "b")),
+            Clique(name="z", hosts=("b", "c"))])
+        assert plan_similarity(a, a) == 1.0
+        assert plan_similarity(a, b) == pytest.approx(0.5)
+
+
+class TestSweepIntegration:
+    def test_dynamic_scenario_sweeps_and_caches(self, tmp_path):
+        result = run_sweep(names=["dyn-hub-flash"], cache_dir=str(tmp_path))
+        assert result.errors == []
+        record = result.records[0]
+        assert record.summary["kind"] == "dynamic"
+        assert record.summary["epochs"] >= 10
+        assert len(record.summary["epoch_records"]) == \
+            record.summary["epochs"]
+        warm = run_sweep(names=["dyn-hub-flash"], cache_dir=str(tmp_path))
+        assert warm.cache_hits == 1
+
+    def test_summary_table_mixes_static_and_dynamic(self, tmp_path):
+        result = run_sweep(names=["star-hub-8", "dyn-hub-flash"],
+                           cache_dir=str(tmp_path))
+        table = result.summary_table()
+        assert "star-hub-8" in table and "dyn-hub-flash" in table
+
+
+class TestDynamicsCLI:
+    def test_list_command(self, capsys):
+        assert main(["dynamics", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "dyn-wan-drift" in out
+        assert "dynamic scenarios registered" in out
+
+    def test_list_filter_no_match(self, capsys):
+        assert main(["dynamics", "list", "--filter", "match-nothing"]) == 1
+
+    def test_replay_command(self, capsys):
+        assert main(["dynamics", "replay", "--scenario", "dyn-hub-flash",
+                     "--epochs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out and "remap" in out
+        assert "replayed dyn-hub-flash" in out
+
+    def test_replay_unknown_scenario(self, capsys):
+        assert main(["dynamics", "replay", "--scenario", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_command_sweeps_dynamic_family(self, capsys, tmp_path):
+        assert main(["dynamics", "run", "--filter", "dyn-hub-flash",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dyn-hub-flash" in out

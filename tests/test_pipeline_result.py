@@ -1,0 +1,80 @@
+"""Tests of PipelineResult plumbing and the baseline planners' robustness."""
+
+import pytest
+
+from repro.core import check_constraints
+from repro.netsim import DegradedSpec, generate_degraded
+from repro.pipeline import BASELINE_PLANNERS, PipelineResult, run_pipeline
+from repro.scenarios import get_scenario
+
+
+@pytest.fixture(scope="module")
+def degraded():
+    """The degraded-link platform (asymmetric routes, lossy mis-VLANed hub)."""
+    return generate_degraded(DegradedSpec())
+
+
+@pytest.fixture(scope="module")
+def degraded_result(degraded):
+    return run_pipeline(degraded, baselines=tuple(BASELINE_PLANNERS))
+
+
+class TestEnvReport:
+    def test_env_report_returns_the_env_planner_row(self, degraded_result):
+        report = degraded_result.env_report
+        assert report.planner == "env"
+        assert report in degraded_result.reports
+
+    def test_env_report_raises_without_env_row(self, degraded_result):
+        stripped = PipelineResult(
+            platform_name=degraded_result.platform_name,
+            master=degraded_result.master,
+            n_hosts=degraded_result.n_hosts,
+            view=degraded_result.view,
+            plan=degraded_result.plan,
+            reports=[r for r in degraded_result.reports
+                     if r.planner != "env"],
+        )
+        with pytest.raises(ValueError, match="no ENV quality report"):
+            stripped.env_report
+        with pytest.raises(ValueError, match="no ENV quality report"):
+            stripped.summary()
+
+    def test_summary_carries_forecast_knobs(self, degraded):
+        result = run_pipeline(degraded, baselines=(),
+                              forecast_window=5, forecast_alpha=0.5)
+        summary = result.summary()
+        assert summary["forecast_window"] == 5
+        assert summary["forecast_alpha"] == 0.5
+        config = result.nws_config()
+        assert config.forecast_window == 5
+        assert config.exponential_alpha == 0.5
+
+    def test_invalid_forecast_knobs_rejected(self, degraded):
+        with pytest.raises(ValueError):
+            run_pipeline(degraded, baselines=(), forecast_window=0)
+        with pytest.raises(ValueError):
+            run_pipeline(degraded, baselines=(), forecast_alpha=1.5)
+
+
+class TestBaselinePlanners:
+    @pytest.mark.parametrize("name", sorted(BASELINE_PLANNERS))
+    def test_each_baseline_produces_a_valid_plan_on_degraded(self, name,
+                                                             degraded):
+        hosts = degraded.host_names()
+        plan = BASELINE_PLANNERS[name](degraded, hosts)
+        assert plan.validate_structure() == []
+        assert plan.notes.get("planner")
+        report = check_constraints(plan, degraded)
+        uncovered = set(report.uncovered_hosts)
+        assert uncovered <= {plan.nameserver_host}
+
+    def test_quality_stage_evaluates_every_requested_baseline(
+            self, degraded_result):
+        planners = [r.planner for r in degraded_result.reports]
+        assert planners[0] == "env"
+        assert set(planners) == {"env", *BASELINE_PLANNERS}
+
+    def test_degraded_scenario_matches_generator(self, degraded):
+        scenario = get_scenario("degraded-asym")
+        assert scenario.build().host_names() == degraded.host_names()

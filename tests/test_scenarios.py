@@ -20,7 +20,15 @@ from repro.netsim import (
     ground_truth_groups,
     platform_allows,
 )
-from repro.scenarios import Scenario, get_scenario, list_scenarios
+from repro.scenarios import (
+    Scenario,
+    clear_registry,
+    get_scenario,
+    list_scenarios,
+    load_catalog,
+    registry_snapshot,
+    restore_registry,
+)
 from repro.scenarios.registry import _REGISTRY, register_scenario
 
 import networkx as nx
@@ -78,6 +86,36 @@ class TestRegistry:
         p1, p2 = scenario.build(), scenario.build()
         assert p1 is not p2
         assert p1.host_names() == p2.host_names()
+
+
+class TestRegistryIsolation:
+    def test_catalog_reload_is_idempotent(self):
+        before = {s.name: s.content_hash for s in list_scenarios()}
+        load_catalog()
+        load_catalog()
+        after = {s.name: s.content_hash for s in list_scenarios()}
+        assert after == before
+
+    def test_catalog_reload_after_clear_restores_identical_registry(self):
+        before = {s.name: s.content_hash for s in list_scenarios()}
+        clear_registry()
+        assert list_scenarios() == []
+        load_catalog()
+        static = {s.name: s.content_hash for s in list_scenarios()}
+        assert static == {n: h for n, h in before.items() if n in static}
+
+    def test_snapshot_restore_roundtrip(self):
+        snapshot = registry_snapshot()
+        clear_registry()
+        register_scenario("test-transient", family="test-internal")(lambda: None)
+        assert [s.name for s in list_scenarios()] == ["test-transient"]
+        restore_registry(snapshot)
+        assert {s.name for s in list_scenarios()} == set(snapshot)
+
+    def test_conflicting_redefinition_still_rejected(self):
+        with pytest.raises(ValueError, match="different definition"):
+            register_scenario("star-hub-8", family="star",
+                              hosts=9, kind="hub")(lambda hosts, kind: None)
 
 
 def _seeded_platforms():

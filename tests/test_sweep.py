@@ -108,6 +108,37 @@ class TestRunSweep:
         assert base.startswith("star-hub-8-")
         assert code_version()[:12] in base
 
+    def test_cache_key_separates_run_parameters(self, tmp_path):
+        assert cache_path(str(tmp_path), "star-hub-8", period_s=10.0) != \
+            cache_path(str(tmp_path), "star-hub-8", period_s=600.0)
+        assert cache_path(str(tmp_path), "star-hub-8",
+                          baselines=("subnet",)) != \
+            cache_path(str(tmp_path), "star-hub-8")
+        # Differently-flagged sweeps never serve each other's results.
+        first = run_sweep(names=["star-hub-8"], cache_dir=str(tmp_path),
+                          period_s=10.0)
+        other = run_sweep(names=["star-hub-8"], cache_dir=str(tmp_path),
+                          period_s=600.0)
+        assert first.cache_hits == 0 and other.cache_hits == 0
+        assert os.path.exists(cache_path(str(tmp_path), "star-hub-8",
+                                         period_s=10.0))
+        assert os.path.exists(cache_path(str(tmp_path), "star-hub-8",
+                                         period_s=600.0))
+        warm = run_sweep(names=["star-hub-8"], cache_dir=str(tmp_path),
+                         period_s=600.0)
+        assert warm.cache_hits == 1
+
+    def test_dynamic_cache_key_ignores_baselines(self, tmp_path):
+        # Dynamic replays have no baseline stage, so a --baselines change
+        # must not invalidate their cached (expensive) replay results.
+        assert cache_path(str(tmp_path), "dyn-hub-flash",
+                          baselines=("subnet",)) == \
+            cache_path(str(tmp_path), "dyn-hub-flash")
+        run_sweep(names=["dyn-hub-flash"], cache_dir=str(tmp_path))
+        warm = run_sweep(names=["dyn-hub-flash"], cache_dir=str(tmp_path),
+                         baselines=("subnet",))
+        assert warm.cache_hits == 1
+
     def test_error_records_are_not_cached(self, tmp_path):
         @register_scenario("test-flaky", family="test-internal")
         def _flaky():
@@ -152,6 +183,57 @@ class TestResultStore:
         assert [r["scenario"] for r in rows] == ["a", "b"]
         assert rows[0]["status"] == "ok (cached)"
         assert rows[1]["hosts"] == ""
+
+
+class TestSummaryHardening:
+    def test_rows_are_sorted_regardless_of_record_order(self):
+        records = [
+            SweepRecord(scenario=name, family="f", scenario_hash="h",
+                        code_version="c", summary={"hosts": 1})
+            for name in ("zeta", "alpha", "mid")
+        ]
+        for ordering in (records, records[::-1], records[1:] + records[:1]):
+            assert [r["scenario"] for r in summary_rows(ordering)] == \
+                ["alpha", "mid", "zeta"]
+
+    def test_records_json_is_deterministic_and_sorted(self):
+        from repro.sweep import records_json
+        import json
+        records = [
+            SweepRecord(scenario="b", family="f", scenario_hash="h2",
+                        code_version="c", summary={"hosts": 3}),
+            SweepRecord(scenario="a", family="f", scenario_hash="h1",
+                        code_version="c", status="error", error="trace"),
+        ]
+        text = records_json(records)
+        assert text == records_json(records[::-1])
+        payload = json.loads(text)
+        assert [r["scenario"] for r in payload] == ["a", "b"]
+        assert payload[0]["status"] == "error"
+
+    def test_cli_sweep_json_format(self, capsys, tmp_path):
+        import json
+        assert main(["sweep", "--filter", "star-hub-8", "--format", "json",
+                     "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["scenario"] == "star-hub-8"
+        assert payload[0]["status"] == "ok"
+
+    def test_cli_sweep_exits_nonzero_on_errored_record(self, capsys, tmp_path):
+        @register_scenario("test-cli-broken", family="test-internal")
+        def _broken():
+            raise RuntimeError("boom")
+
+        try:
+            code = main(["sweep", "--filter", "test-cli-broken",
+                         "--cache-dir", str(tmp_path)])
+            assert code == 1
+            assert "test-cli-broken" in capsys.readouterr().err
+            code = main(["sweep", "--filter", "test-cli-broken",
+                         "--format", "json", "--cache-dir", str(tmp_path)])
+            assert code == 1
+        finally:
+            del _REGISTRY["test-cli-broken"]
 
 
 class TestSweepCLI:
