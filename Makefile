@@ -5,7 +5,8 @@ PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
 
-.PHONY: verify tier1 smoke-sweep smoke-sweep-fresh sweep bench clean
+.PHONY: verify tier1 smoke-sweep smoke-sweep-fresh sweep bench bench-smoke \
+	bench-check clean
 
 verify: tier1 smoke-sweep
 
@@ -26,8 +27,20 @@ smoke-sweep-fresh:
 sweep:
 	$(REPRO) sweep --jobs 4 --cache-dir .sweep-cache
 
+# Full benchmark suite.  Every benchmark run writes a machine-readable perf
+# trajectory (per-benchmark wall time + hot-path work counters) to
+# BENCH_results.json — see benchmarks/conftest.py.
 bench:
 	$(PYTEST) benchmarks/ -q -s
 
+# The fast subset CI runs on every push: the end-to-end fast-path benchmark
+# (speedup + whole-catalog equivalence).  Also writes BENCH_results.json.
+bench-smoke:
+	$(PYTEST) benchmarks/test_bench_fastpath.py -q -s
+
+# Gate against the committed perf baseline (>25% regression fails).
+bench-check: bench-smoke
+	$(PYTHON) benchmarks/check_bench_regression.py
+
 clean:
-	rm -rf .sweep-cache .pytest_cache .benchmarks
+	rm -rf .sweep-cache .pytest_cache .benchmarks BENCH_results.json

@@ -1,17 +1,64 @@
-"""Shared fixtures for the benchmark suite.
+"""Shared fixtures and the perf-trajectory hook for the benchmark suite.
 
 Each benchmark regenerates one artifact of the paper's evaluation (see
 DESIGN.md, "Experiment index") and prints the reproduced rows/series so that
 ``pytest benchmarks/ --benchmark-only -s`` doubles as a report generator.
+
+Every benchmark run additionally records a machine-readable perf trajectory:
+per-benchmark wall time plus the hot-path work counters of
+:mod:`repro.perf` (simulation events dispatched, max-min allocations solved,
+probe-memo hits).  On session exit the records are written to
+``BENCH_results.json`` (path override: ``BENCH_RESULTS_PATH``); ``make
+bench`` is the entry point, and ``benchmarks/check_bench_regression.py``
+gates CI on the tracked end-to-end benchmark.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
+from repro import perf
 from repro.core import plan_from_view
 from repro.env import map_ens_lyon
 from repro.netsim import build_ens_lyon
+from repro.sweep import code_version
+
+_RESULTS = []
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Record wall time and work counters around every benchmark test."""
+    before = perf.counters_snapshot()
+    start = time.perf_counter()
+    yield
+    wall_s = time.perf_counter() - start
+    after = perf.counters_snapshot()
+    _RESULTS.append({
+        "benchmark": item.nodeid,
+        "wall_s": round(wall_s, 6),
+        "counters": {key: after[key] - before[key] for key in after},
+    })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the perf trajectory once all benchmarks have run."""
+    if not _RESULTS:
+        return
+    path = os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json")
+    payload = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "code_version": code_version(),
+        "results": sorted(_RESULTS, key=lambda r: r["benchmark"]),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

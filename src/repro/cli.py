@@ -15,7 +15,9 @@ the NWS configuration, check its quality):
                   with on-disk result caching;
 * ``dynamics``  — time-varying platforms: ``list`` the dynamic scenarios,
                   ``replay`` one churn schedule epoch by epoch, or ``run``
-                  the whole dynamic family through the sweep engine.
+                  the whole dynamic family through the sweep engine;
+* ``profile``   — cProfile one scenario's pipeline run (or dynamic replay)
+                  and print the top cumulative hotspots.
 
 The platform of the single-run commands is either the paper's ENS-Lyon LAN
 (``--platform ens-lyon``, default) or a seeded synthetic constellation
@@ -176,6 +178,19 @@ def build_parser() -> argparse.ArgumentParser:
     d_run = dyn_sub.add_parser(
         "run", help="sweep every dynamic scenario (cached, epoch-aware)")
     _add_sweep_arguments(d_run)
+
+    p_profile = sub.add_parser(
+        "profile", help="cProfile one scenario run and print the hotspots")
+    p_profile.add_argument("scenario",
+                           help="name of a registered (static or dynamic) "
+                                "scenario")
+    p_profile.add_argument("--top", type=int, default=20, metavar="N",
+                           help="number of hotspot rows to print (default: 20)")
+    p_profile.add_argument("--sort", choices=("cumulative", "tottime"),
+                           default="cumulative",
+                           help="pstats sort order (default: cumulative)")
+    p_profile.add_argument("--period", type=float, default=60.0,
+                           help="target measurement period per clique (seconds)")
     return parser
 
 
@@ -358,6 +373,37 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     return _print_sweep_result(result, args.jobs, args.format)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one pipeline run (or replay) of a registered scenario."""
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    from .dynamics import DynamicScenario
+    from .scenarios import get_scenario
+
+    scenario = get_scenario(args.scenario)
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    if isinstance(scenario, DynamicScenario):
+        run_replay(scenario, period_s=args.period)
+        kind = "dynamic replay"
+    else:
+        run_pipeline(scenario.build(), period_s=args.period)
+        kind = "pipeline run"
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    print(f"profiled one {kind} of {scenario.name} in {elapsed:.3f}s; "
+          f"top {args.top} by {args.sort}:")
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(buffer.getvalue().rstrip())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro`` command; returns the exit status."""
     parser = build_parser()
@@ -370,6 +416,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "sweep": _cmd_sweep,
         "dynamics": _cmd_dynamics,
+        "profile": _cmd_profile,
     }
     try:
         return handlers[args.command](args)

@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 from ..env.bandwidth_tests import ClusterRefiner
 from ..env.envtree import ENVNetwork, ENVView, KIND_STRUCTURAL
 from ..env.mapper import make_driver, map_platform
-from ..env.probes import ProbeStats
+from ..env.probes import ProbeMemo, ProbeStats
 from ..env.thresholds import DEFAULT_THRESHOLDS, ENVThresholds
 from ..netsim.topology import Platform
 from .monitor import DriftReport
@@ -49,10 +49,19 @@ class RemapResult:
 
 def full_remap(platform: Platform, master: str,
                thresholds: ENVThresholds = DEFAULT_THRESHOLDS,
-               reason: str = "") -> RemapResult:
-    """Re-map the platform from scratch (the oracle / fallback path)."""
+               reason: str = "",
+               memo: Optional[ProbeMemo] = None) -> RemapResult:
+    """Re-map the platform from scratch (the oracle / fallback path).
+
+    ``memo`` is passed for the *bootstrap* mapping and the incremental
+    track's full-remap fallbacks, so their measurements warm the shared
+    memo.  Without a memo the run is fully memo-less — even within the run —
+    modelling the naive tool that re-executes every experiment; that is the
+    oracle track's cost baseline.
+    """
     start = time.perf_counter()
-    view = map_platform(platform, master, thresholds=thresholds)
+    driver = make_driver(platform, memo=memo, memoize=memo is not None)
+    view = map_platform(platform, master, thresholds=thresholds, driver=driver)
     return RemapResult(view=view, mode="full", stats=view.stats,
                        seconds=time.perf_counter() - start, reason=reason)
 
@@ -132,7 +141,8 @@ def _refresh_leaf(view: ENVView, parent: Optional[ENVNetwork],
 
 def incremental_remap(platform: Platform, view: ENVView, report: DriftReport,
                       thresholds: ENVThresholds = DEFAULT_THRESHOLDS,
-                      full_fraction: float = 0.5) -> RemapResult:
+                      full_fraction: float = 0.5,
+                      memo: Optional[ProbeMemo] = None) -> RemapResult:
     """Update ``view`` in response to a drift report (warm start).
 
     Parameters
@@ -141,11 +151,17 @@ def incremental_remap(platform: Platform, view: ENVView, report: DriftReport,
         When the suspect networks cover more than this fraction of the mapped
         hosts, patching would re-probe almost everything anyway — fall back
         to one clean full remap instead.
+    memo:
+        A :class:`~repro.env.probes.ProbeMemo` persisted by the caller across
+        remap epochs.  Suspect pairs whose links did not actually change are
+        then answered from the memo instead of being re-measured (the churn
+        events themselves invalidate exactly the affected entries), which is
+        what makes a false-positive drift flag nearly free.
     """
     if report.structure_changed:
         return full_remap(platform, view.master, thresholds=thresholds,
                           reason="; ".join(report.reasons)
-                          or "structure changed")
+                          or "structure changed", memo=memo)
     if not report.suspect_labels:
         return RemapResult(view=view, mode="none", reason="no drift detected")
 
@@ -158,11 +174,11 @@ def incremental_remap(platform: Platform, view: ENVView, report: DriftReport,
     if len(suspect_hosts) / total > full_fraction:
         return full_remap(platform, view.master, thresholds=thresholds,
                           reason=f"drift touches {len(suspect_hosts)}/{total} "
-                                 "hosts")
+                                 "hosts", memo=memo)
 
     start = time.perf_counter()
     patched = _copy_view(view)
-    driver = make_driver(platform)
+    driver = make_driver(platform, memo=memo)
     refiner = ClusterRefiner(driver, patched.master, thresholds)
     refreshed: List[str] = []
     for label in report.suspect_labels:

@@ -21,7 +21,9 @@ from ..core import evaluate_plan, plan_from_view
 from ..core.plan import DeploymentPlan
 from ..core.quality import QualityReport
 from ..env.mapper import map_platform
+from ..env.probes import ProbeMemo
 from ..env.thresholds import DEFAULT_THRESHOLDS, ENVThresholds
+from ..perf import fast_path_enabled
 from ..scenarios.registry import get_scenario
 from .churn import apply_epoch, generate_schedule
 from .monitor import DeploymentMonitor
@@ -224,8 +226,15 @@ def run_replay(scenario: Union[str, DynamicScenario],
     n_epochs = spec.epochs
 
     master = platform.host_names()[0]
+    # One memo shared by the bootstrap mapping and every incremental remap:
+    # churn invalidates exactly the affected entries, so suspect-but-unchanged
+    # pairs are answered warm.  The oracle track below stays memo-less — it
+    # models the naive from-scratch cost.  With the fast path globally off
+    # (reference/A-B mode) no memo is created at all, so the baseline really
+    # re-measures everything.
+    memo = ProbeMemo() if fast_path_enabled() else None
     bootstrap = full_remap(platform, master, thresholds=thresholds,
-                           reason="bootstrap")
+                           reason="bootstrap", memo=memo)
     view = bootstrap.view
     plan = plan_from_view(view, period_s=period_s)
     monitor = DeploymentMonitor(
@@ -259,7 +268,7 @@ def run_replay(scenario: Union[str, DynamicScenario],
 
         remap: RemapResult = incremental_remap(
             platform, view, report, thresholds=thresholds,
-            full_fraction=full_fraction)
+            full_fraction=full_fraction, memo=memo)
         record.remap_mode = remap.mode
         record.remap_reason = remap.reason
         if remap.mode != "none":

@@ -17,6 +17,7 @@ from .mapper import ENVMapper, make_driver, map_and_merge, map_ens_lyon, map_pla
 from .probes import (
     AnalyticProbeDriver,
     ProbeDriver,
+    ProbeMemo,
     ProbeStats,
     SECONDS_PER_MEASUREMENT,
     SimulatedProbeDriver,
@@ -27,7 +28,7 @@ from .thresholds import DEFAULT_THRESHOLDS, ENVThresholds
 __all__ = [
     "ENVThresholds", "DEFAULT_THRESHOLDS",
     "ProbeDriver", "AnalyticProbeDriver", "SimulatedProbeDriver", "ProbeStats",
-    "SECONDS_PER_MEASUREMENT",
+    "ProbeMemo", "SECONDS_PER_MEASUREMENT",
     "MachineInfo", "ENVNetwork", "ENVView", "merge_views",
     "KIND_STRUCTURAL", "KIND_SHARED", "KIND_SWITCHED", "KIND_UNKNOWN",
     "lookup_machines", "site_domain_of",

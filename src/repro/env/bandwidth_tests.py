@@ -27,6 +27,14 @@ Implementation notes (documented deviations):
   same medium, on a switched full-duplex segment they use different
   directions of the master port and do not interfere.
 * Single-host clusters cannot be classified and are reported as unknown.
+
+Probing cost: every experiment goes through the driver's probe memo (see
+:class:`~repro.env.probes.ProbeMemo`), so measurement tuples that repeat —
+the jam rotation revisits identical (target, jammer) patterns on two-host
+clusters, and a warm-started remap re-runs this battery on clusters whose
+links did not actually change — are answered from the memo and counted as
+``memo_hits`` instead of fresh ``measurements``.  On a noiseless analytic
+driver the returned values are identical either way.
 """
 
 from __future__ import annotations
@@ -167,7 +175,12 @@ class ClusterRefiner:
     def measure_jam_ratios(self, hosts: Sequence[str],
                            base: Dict[str, float],
                            gateway: Optional[str]) -> List[float]:
-        """Jammed/base ratios over the configured number of repetitions."""
+        """Jammed/base ratios over the configured number of repetitions.
+
+        On two-host clusters the rotation cycles through only two distinct
+        measurement tuples, so later repetitions are served by the probe
+        memo (identical values, no fresh probe traffic).
+        """
         hosts = sorted(hosts)
         if len(hosts) < 2:
             return []

@@ -23,7 +23,8 @@ from ..netsim.topology import Platform
 from .bandwidth_tests import ClusterRefiner
 from .envtree import ENVNetwork, ENVView, KIND_STRUCTURAL, merge_views
 from .lookup import lookup_machines, site_domain_of
-from .probes import AnalyticProbeDriver, ProbeDriver, SimulatedProbeDriver
+from .probes import (AnalyticProbeDriver, ProbeDriver, ProbeMemo,
+                     SimulatedProbeDriver)
 from .structural import StructuralNode, build_structural_tree
 from .thresholds import DEFAULT_THRESHOLDS, ENVThresholds
 
@@ -33,14 +34,21 @@ __all__ = ["ENVMapper", "map_platform", "map_and_merge", "map_ens_lyon",
 
 def make_driver(platform: Platform, mode: str = "analytic",
                 noise_sigma: float = 0.0,
-                rng: Optional[np.random.Generator] = None) -> ProbeDriver:
+                rng: Optional[np.random.Generator] = None,
+                memo: Optional[ProbeMemo] = None,
+                memoize: bool = True) -> ProbeDriver:
     """Create a probe driver.
 
     ``mode`` is ``"analytic"`` (steady-state oracle, fast) or ``"simulated"``
-    (probe transfers scheduled on a discrete-event engine).
+    (probe transfers scheduled on a discrete-event engine).  ``memo`` hands a
+    shared :class:`ProbeMemo` to the analytic driver so repeated probes of
+    unchanged pairs are answered without re-measuring (noiseless mode only;
+    the simulated driver never memoises); ``memoize=False`` disables even the
+    per-driver memo, modelling a naive tool that re-runs every experiment.
     """
     if mode == "analytic":
-        return AnalyticProbeDriver(platform, noise_sigma=noise_sigma, rng=rng)
+        return AnalyticProbeDriver(platform, noise_sigma=noise_sigma, rng=rng,
+                                   memo=memo, memoize=memoize)
     if mode == "simulated":
         return SimulatedProbeDriver(platform)
     raise ValueError(f"unknown probe driver mode {mode!r}")

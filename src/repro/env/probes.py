@@ -30,13 +30,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..perf import COUNTERS, fast_path_enabled
 from ..simkernel import Engine
 from ..netsim.firewall import platform_allows
 from ..netsim.flows import FlowModel
 from ..netsim.topology import Platform
 from ..netsim.traceroute import TracerouteResult, traceroute
 
-__all__ = ["ProbeStats", "ProbeDriver", "AnalyticProbeDriver", "SimulatedProbeDriver"]
+__all__ = ["ProbeStats", "ProbeMemo", "ProbeDriver", "AnalyticProbeDriver",
+           "SimulatedProbeDriver"]
 
 #: Stabilisation delay the paper assumes between two measurements ("half a
 #: minute ... since the network needs to stabilize between each experiments").
@@ -52,6 +54,7 @@ class ProbeStats:
     bytes_injected: float = 0.0
     traceroutes: int = 0
     estimated_seconds: float = 0.0  # wall-clock estimate of the mapping
+    memo_hits: int = 0              # measurements answered from the probe memo
 
     def merge(self, other: "ProbeStats") -> "ProbeStats":
         """Combine the accounting of two mapping runs (e.g. firewall sides)."""
@@ -61,6 +64,77 @@ class ProbeStats:
             bytes_injected=self.bytes_injected + other.bytes_injected,
             traceroutes=self.traceroutes + other.traceroutes,
             estimated_seconds=self.estimated_seconds + other.estimated_seconds,
+            memo_hits=self.memo_hits + other.memo_hits,
+        )
+
+
+class ProbeMemo:
+    """Memo of deterministic probe results, keyed on (op, pairs, size).
+
+    Each entry remembers the topology state it was measured under: the
+    platform-wide route epoch, the per-pair route-override epochs, and the
+    mutation version of every link and hub the probed routes cross
+    (:meth:`~repro.netsim.topology.Platform.element_version`).  A lookup is
+    served only while all of those are unchanged, so a platform mutation
+    invalidates exactly the entries whose measurements it could alter —
+    bandwidth drift on one link leaves every other memoised pair warm.
+
+    A memo may outlive a single driver: :func:`repro.dynamics.remap` hands
+    one memo across remap epochs so warm starts stop re-measuring identical
+    pairs.  Only noiseless analytic drivers use a memo (a noisy or simulated
+    measurement is not reproducible by construction).
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, Tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _dependencies(self, platform: Platform,
+                      pairs: Tuple[Tuple[str, str], ...]) -> Tuple:
+        deps = set()
+        for src, dst in pairs:
+            route = platform.route(src, dst)
+            for link in route.links:
+                deps.add(("link", link.name))
+            for key in route.constraint_keys(platform):
+                if key[0] == "hub":
+                    deps.add(("hub", key[1]))
+        return tuple(sorted(deps))
+
+    def lookup(self, platform: Platform, op: str,
+               pairs: Tuple[Tuple[str, str], ...], size_bytes: int):
+        """The memoised result, or ``None`` when absent or invalidated."""
+        memo_key = (op, pairs, size_bytes)
+        entry = self._entries.get(memo_key)
+        if entry is None:
+            return None
+        value, route_epoch, pair_stamps, dep_stamps = entry
+        if route_epoch != platform.route_epoch:
+            del self._entries[memo_key]
+            return None
+        for (src, dst), epoch in pair_stamps:
+            if platform.pair_epoch(src, dst) != epoch:
+                del self._entries[memo_key]
+                return None
+        for dep, version in dep_stamps:
+            if platform.element_version(dep) != version:
+                del self._entries[memo_key]
+                return None
+        return value
+
+    def store(self, platform: Platform, op: str,
+              pairs: Tuple[Tuple[str, str], ...], size_bytes: int,
+              value) -> None:
+        self._entries[(op, pairs, size_bytes)] = (
+            value,
+            platform.route_epoch,
+            tuple((pair, platform.pair_epoch(*pair)) for pair in pairs),
+            tuple((dep, platform.element_version(dep))
+                  for dep in self._dependencies(platform, pairs)),
         )
 
 
@@ -125,16 +199,34 @@ class AnalyticProbeDriver(ProbeDriver):
 
     Optional multiplicative log-normal noise models measurement jitter; the
     noise is drawn from a dedicated stream so runs stay reproducible.
+
+    Noiseless drivers memoise their measurements in a :class:`ProbeMemo`
+    (a fresh one per driver unless ``memo`` is given): a repeated probe of
+    the same pair(s) with the same size on an unmutated topology is answered
+    from the memo — counted in ``stats.memo_hits`` instead of
+    ``stats.measurements`` — and returns the identical value the experiment
+    would have produced.  Pass a shared memo to carry the warm state across
+    drivers (e.g. across remap epochs).  With ``noise_sigma > 0`` the memo
+    is disabled: each measurement must draw fresh jitter.
     """
 
     def __init__(self, platform: Platform,
                  noise_sigma: float = 0.0,
                  rng: Optional[np.random.Generator] = None,
-                 seconds_per_measurement: float = SECONDS_PER_MEASUREMENT):
+                 seconds_per_measurement: float = SECONDS_PER_MEASUREMENT,
+                 memo: Optional[ProbeMemo] = None,
+                 memoize: bool = True):
         super().__init__(platform, seconds_per_measurement)
         self.noise_sigma = noise_sigma
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._flow_model = FlowModel(Engine(), platform)
+        if noise_sigma > 0 or not memoize:
+            # ``memoize=False`` models the naive tool that re-measures
+            # everything (the dynamics oracle track).
+            memo = None
+        elif memo is None and fast_path_enabled():
+            memo = ProbeMemo()
+        self.memo = memo
 
     def _noisy(self, value: float) -> float:
         if self.noise_sigma <= 0:
@@ -142,17 +234,40 @@ class AnalyticProbeDriver(ProbeDriver):
         return value * float(self.rng.lognormal(mean=0.0, sigma=self.noise_sigma))
 
     def bandwidth(self, src: str, dst: str, size_bytes: int) -> float:
+        memo = self.memo
+        if memo is not None:
+            hit = memo.lookup(self.platform, "bw", ((src, dst),), size_bytes)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                COUNTERS.probe_memo_hits += 1
+                return hit
         self._account(1, size_bytes)
         rate = self._flow_model.single_flow_mbps(src, dst)
         latency = self.platform.route(src, dst).latency
         duration = latency + size_bytes * 8.0 / 1e6 / rate
-        return self._noisy(size_bytes * 8.0 / 1e6 / duration)
+        value = self._noisy(size_bytes * 8.0 / 1e6 / duration)
+        if memo is not None:
+            memo.store(self.platform, "bw", ((src, dst),), size_bytes, value)
+        return value
 
     def concurrent_bandwidths(self, pairs: Sequence[Tuple[str, str]],
                               size_bytes: int) -> List[float]:
+        memo = self.memo
+        key_pairs = tuple(pairs)
+        if memo is not None:
+            hit = memo.lookup(self.platform, "conc", key_pairs, size_bytes)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                COUNTERS.probe_memo_hits += 1
+                return list(hit)
         self._account(len(pairs), size_bytes)
         rates = self._flow_model.steady_state_mbps(list(pairs))
-        return [self._noisy(r) for r in rates]
+        values = [self._noisy(r) for r in rates]
+        if memo is not None:
+            # Store a copy: the returned list is the caller's to mutate.
+            memo.store(self.platform, "conc", key_pairs, size_bytes,
+                       list(values))
+        return values
 
 
 class SimulatedProbeDriver(ProbeDriver):

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from ..perf import COUNTERS, fast_path_enabled
 from .address import IPv4Address
 from .dns import Resolver
 
@@ -156,6 +157,14 @@ class Route:
     dst: str
     nodes: List[str]
     links: List[Link]
+    #: Lazily computed constraint-key cache.  Safe because the keys depend
+    #: only on the path structure (link names/directions, hubs crossed), not
+    #: on bandwidths, and any mutation that changes a path drops the Route
+    #: from the platform's route cache.
+    _cached_keys: Optional[List[Tuple]] = field(
+        default=None, repr=False, compare=False)
+    _cached_keyset: Optional[frozenset] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def latency(self) -> float:
@@ -166,12 +175,7 @@ class Route:
     def hop_count(self) -> int:
         return len(self.links)
 
-    def constraint_keys(self, platform: "Platform") -> List[Tuple]:
-        """All capacity-constraint keys crossed by a flow on this route.
-
-        Includes per-link directional constraints and the shared-segment
-        constraint of every hub traversed.
-        """
+    def _compute_keys(self, platform: "Platform") -> List[Tuple]:
         keys: List[Tuple] = []
         for i, link in enumerate(self.links):
             keys.append(link.direction_key(self.nodes[i], self.nodes[i + 1]))
@@ -180,6 +184,27 @@ class Route:
             if node.is_hub:
                 keys.append(("hub", node.name))
         return keys
+
+    def constraint_keys(self, platform: "Platform") -> List[Tuple]:
+        """All capacity-constraint keys crossed by a flow on this route.
+
+        Includes per-link directional constraints and the shared-segment
+        constraint of every hub traversed.  The returned list is cached and
+        shared — callers must not mutate it.
+        """
+        if not fast_path_enabled():
+            return self._compute_keys(platform)
+        if self._cached_keys is None:
+            self._cached_keys = self._compute_keys(platform)
+        return self._cached_keys
+
+    def constraint_keyset(self, platform: "Platform") -> frozenset:
+        """The constraint keys as a shared frozenset (for overlap tests)."""
+        if not fast_path_enabled():
+            return frozenset(self._compute_keys(platform))
+        if self._cached_keyset is None:
+            self._cached_keyset = frozenset(self.constraint_keys(platform))
+        return self._cached_keyset
 
     def bottleneck_mbps(self, platform: "Platform") -> float:
         """The minimum capacity along the route (single-flow upper bound)."""
@@ -207,6 +232,60 @@ class Platform:
         #: Name of the node representing "outside the mapped network".
         self.external_node: Optional[str] = None
         self._route_cache: Dict[Tuple[str, str], Route] = {}
+        #: Reverse index: link name -> cached route pairs traversing it, used
+        #: to invalidate only the affected entries on link mutations.
+        self._routes_by_link: Dict[str, set] = {}
+        #: Total mutation counter (any topology change bumps it).
+        self._version = 0
+        #: Bumped when shortest paths may change for *any* pair (e.g. a link
+        #: was added); per-pair and per-element changes use the finer counters.
+        self._route_epoch = 0
+        self._pair_epochs: Dict[Tuple[str, str], int] = {}
+        self._element_versions: Dict[Tuple[str, str], int] = {}
+        #: Steady-state allocation cache shared by the FlowModels bound to
+        #: this platform (see FlowModel.steady_state_mbps), keyed by
+        #: efficiency; entries are valid for exactly one platform version.
+        self._steady_cache: Dict[float, Dict] = {}
+
+    # -- topology versioning ---------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Total mutation count: bumps on every topology change."""
+        return self._version
+
+    @property
+    def route_epoch(self) -> int:
+        """Bumps when shortest paths may have changed platform-wide."""
+        return self._route_epoch
+
+    def element_version(self, key: Tuple[str, str]) -> int:
+        """Mutation count of one element, keyed ``("link", name)``/``("hub", name)``."""
+        return self._element_versions.get(key, 0)
+
+    def pair_epoch(self, src: str, dst: str) -> int:
+        """Mutation count of the explicit routing of one directed pair."""
+        return self._pair_epochs.get((src, dst), 0)
+
+    def _bump(self, *element_keys: Tuple[str, str]) -> None:
+        self._version += 1
+        for key in element_keys:
+            self._element_versions[key] = self._element_versions.get(key, 0) + 1
+
+    def _invalidate_all_routes(self) -> None:
+        self._route_epoch += 1
+        self._route_cache.clear()
+        self._routes_by_link.clear()
+
+    def _invalidate_pair(self, src: str, dst: str) -> None:
+        key = (src, dst)
+        self._pair_epochs[key] = self._pair_epochs.get(key, 0) + 1
+        # A stale pair left in _routes_by_link is harmless: invalidation only
+        # pops cache entries that still exist.
+        self._route_cache.pop(key, None)
+
+    def _invalidate_link_routes(self, name: str) -> None:
+        for pair in self._routes_by_link.pop(name, ()):
+            self._route_cache.pop(pair, None)
 
     # -- construction --------------------------------------------------------
     def _add_node(self, node: Node) -> Node:
@@ -217,7 +296,9 @@ class Platform:
         if node.kind is NodeKind.HOST and node.ip is not None:
             fqdn = node.name if "." in node.name else None
             self.resolver.register(fqdn or node.name, node.ip)
-        self._route_cache.clear()
+        # A new node starts isolated: no existing route can change, so cached
+        # routes stay valid.
+        self._version += 1
         return node
 
     def add_host(self, name: str, ip: str, domain: str = "",
@@ -275,7 +356,10 @@ class Platform:
                     latency_s=latency_s, duplex=duplex)
         self.links[link_name] = link
         self.graph.add_edge(a, b, link=link_name)
-        self._route_cache.clear()
+        # A new edge can shorten the path of any pair: full invalidation is
+        # the only sound choice here.
+        self._bump(("link", link_name))
+        self._invalidate_all_routes()
         return link
 
     # -- mutation (time-varying platforms) -----------------------------------
@@ -284,12 +368,14 @@ class Platform:
         if bandwidth_mbps <= 0:
             raise ValueError(f"link {name!r} bandwidth must be positive")
         self.links[name].bandwidth_mbps = bandwidth_mbps
+        self._bump(("link", name))
 
     def set_link_latency(self, name: str, latency_s: float) -> None:
         """Change a link's latency in place (routes are unaffected)."""
         if latency_s < 0:
             raise ValueError(f"link {name!r} latency must be non-negative")
         self.links[name].latency_s = latency_s
+        self._bump(("link", name))
 
     def remove_link(self, name: str) -> Link:
         """Remove a link (failure).  Returns it so it can be restored later.
@@ -307,8 +393,12 @@ class Platform:
             for u, v in zip(path, path[1:]):
                 if {u, v} == {link.a, link.b}:
                     del self.route_overrides[key]
+                    self._invalidate_pair(*key)
                     break
-        self._route_cache.clear()
+        # Removing an edge cannot shorten any other path, so only the cached
+        # routes that traversed it (plus the dropped overrides) are stale.
+        self._bump(("link", name))
+        self._invalidate_link_routes(name)
         return link
 
     def restore_link(self, link: Link) -> Link:
@@ -337,7 +427,12 @@ class Platform:
         for key, path in list(self.route_overrides.items()):
             if name in key or name in path:
                 del self.route_overrides[key]
-        self._route_cache.clear()
+                self._invalidate_pair(*key)
+        # Routes crossing the host went through its (now removed) links and
+        # were already dropped; only entries with the host as endpoint remain.
+        for pair in [p for p in self._route_cache if name in p]:
+            self._invalidate_pair(*pair)
+        self._bump()
         return node
 
     def set_route(self, src: str, dst: str, node_path: List[str]) -> None:
@@ -348,13 +443,15 @@ class Platform:
             if not self.graph.has_edge(u, v):
                 raise ValueError(f"override uses non-existent edge {u!r}-{v!r}")
         self.route_overrides[(src, dst)] = list(node_path)
-        self._route_cache.clear()
+        self._version += 1
+        self._invalidate_pair(src, dst)
 
     def clear_route(self, src: str, dst: str) -> bool:
         """Drop a route override; returns whether one existed."""
         existed = self.route_overrides.pop((src, dst), None) is not None
         if existed:
-            self._route_cache.clear()
+            self._version += 1
+            self._invalidate_pair(src, dst)
         return existed
 
     # -- queries ---------------------------------------------------------------
@@ -384,7 +481,9 @@ class Platform:
         key = (src, dst)
         cached = self._route_cache.get(key)
         if cached is not None:
+            COUNTERS.route_cache_hits += 1
             return cached
+        COUNTERS.route_cache_misses += 1
         if key in self.route_overrides:
             node_path = self.route_overrides[key]
         else:
@@ -395,6 +494,8 @@ class Platform:
         links = [self.link_between(u, v) for u, v in zip(node_path, node_path[1:])]
         route = Route(src=src, dst=dst, nodes=list(node_path), links=links)
         self._route_cache[key] = route
+        for link in links:
+            self._routes_by_link.setdefault(link.name, set()).add(key)
         return route
 
     def routes_are_symmetric(self, a: str, b: str) -> bool:
@@ -409,8 +510,8 @@ class Platform:
         Two NWS experiments collide exactly when this is non-empty (paper
         §2.3, "Do not let experiments collide").
         """
-        keys1 = set(self.route(*pair1).constraint_keys(self))
-        keys2 = set(self.route(*pair2).constraint_keys(self))
+        keys1 = self.route(*pair1).constraint_keyset(self)
+        keys2 = self.route(*pair2).constraint_keyset(self)
         return sorted(keys1 & keys2)
 
     def capacities(self) -> Dict[Tuple, float]:

@@ -1,0 +1,82 @@
+"""Performance plumbing: hot-path counters and the fast-path switch.
+
+Two small facilities shared by the whole engine:
+
+* :data:`COUNTERS` — cheap global counters incremented by the hot loops
+  (simulation events dispatched, max-min allocations solved, probe-memo and
+  route-cache hits).  The benchmark harness snapshots them around every
+  benchmark so ``BENCH_results.json`` records a machine-independent work
+  trajectory next to wall-clock times.
+
+* the **fast-path switch** — :func:`set_fast_path` / :func:`fast_path`
+  globally disable the incremental/memoised code paths (incremental max-min
+  reallocation, probe memoisation, constraint-key and steady-state caching)
+  so benchmarks can measure an honest before/after on identical inputs.
+  Results must be bit-identical in both modes; only the work done differs.
+  The switch exists for measurement and equivalence testing — production
+  code should never turn it off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["COUNTERS", "PerfCounters", "reset_counters", "counters_snapshot",
+           "fast_path_enabled", "set_fast_path", "fast_path"]
+
+
+class PerfCounters:
+    """Monotonic counters of hot-path work, reset via :func:`reset_counters`."""
+
+    __slots__ = ("events", "allocations", "probe_memo_hits",
+                 "route_cache_hits", "route_cache_misses")
+
+    def __init__(self) -> None:
+        self.events = 0            # simulation events dispatched
+        self.allocations = 0       # max-min allocation solves
+        self.probe_memo_hits = 0   # probe measurements answered from memo
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: The process-wide counter instance (single-threaded hot loops).
+COUNTERS = PerfCounters()
+
+_FAST_PATH = True
+
+
+def reset_counters() -> None:
+    """Zero every counter (benchmark harness hook)."""
+    for name in PerfCounters.__slots__:
+        setattr(COUNTERS, name, 0)
+
+
+def counters_snapshot() -> Dict[str, int]:
+    """A plain-dict copy of the current counter values."""
+    return COUNTERS.snapshot()
+
+
+def fast_path_enabled() -> bool:
+    """Whether the incremental/memoised hot paths are active (default)."""
+    return _FAST_PATH
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Globally enable/disable the fast paths (benchmarking hook)."""
+    global _FAST_PATH
+    _FAST_PATH = bool(enabled)
+
+
+@contextmanager
+def fast_path(enabled: bool) -> Iterator[None]:
+    """Context manager scoping a :func:`set_fast_path` change."""
+    previous = _FAST_PATH
+    set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)

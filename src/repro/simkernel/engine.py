@@ -9,9 +9,9 @@ instance, which makes whole-system runs deterministic and reproducible.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from ..perf import COUNTERS
 from .events import AllOf, AnyOf, Event, StopSimulation, Timeout
 from .process import Process
 
@@ -35,11 +35,16 @@ class Engine:
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
 
+    __slots__ = ("_now", "strict", "_queue", "_counter", "_active_process",
+                 "_stopped", "event_count")
+
     def __init__(self, start_time: float = 0.0, strict: bool = True):
         self._now = float(start_time)
         self.strict = strict
         self._queue: List[Tuple[float, int, int, Event]] = []
-        self._counter = itertools.count()
+        # A plain int sequence number: cheaper than itertools.count() in the
+        # scheduling hot path and keeps heap comparisons on ints.
+        self._counter = 0
         self._active_process: Optional[Process] = None
         self._stopped = False
         self.event_count = 0
@@ -86,8 +91,9 @@ class Engine:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._counter += 1
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
+            self._queue, (self._now + delay, priority, self._counter, event)
         )
 
     def peek(self) -> float:
@@ -101,6 +107,7 @@ class Engine:
             raise RuntimeError("event scheduled in the past")
         self._now = max(self._now, when)
         self.event_count += 1
+        COUNTERS.events += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks or ():
             callback(event)

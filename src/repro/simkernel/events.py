@@ -58,8 +58,11 @@ class Event:
 
     An event starts *pending*, may be :meth:`succeed`-ed or :meth:`fail`-ed
     exactly once, and notifies its callbacks when it fires.  Processes wait on
-    events by yielding them.
+    events by yielding them.  Events are the densest allocation of the hot
+    loop, so the whole hierarchy uses ``__slots__``.
     """
+
+    __slots__ = ("engine", "eid", "callbacks", "_value", "_ok")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -130,6 +133,8 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -142,6 +147,8 @@ class Timeout(Event):
 
 class _Condition(Event):
     """Base class for composite events (:class:`AnyOf` / :class:`AllOf`)."""
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, engine: "Engine", events: List[Event]):
         super().__init__(engine)
@@ -165,6 +172,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires as soon as any one of the given events fires."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self._ok is not None:
             return
@@ -176,6 +185,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Fires once all the given events have fired."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self._ok is not None:

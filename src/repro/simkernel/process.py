@@ -32,6 +32,8 @@ class Process(Event):
         Optional human-readable name used in traces and ``repr``.
     """
 
+    __slots__ = ("generator", "name", "_target")
+
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         super().__init__(engine)
         if not hasattr(generator, "send"):
@@ -61,7 +63,6 @@ class Process(Event):
         ev = Event(self.engine)
         ev._ok = False
         ev._value = Interrupt(cause)
-        ev._interrupting = self
         ev.add_callback(self._resume_interrupt)
         self.engine._schedule(ev, priority=0)
 

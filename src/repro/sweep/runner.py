@@ -19,6 +19,7 @@ separate cache entries.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import multiprocessing
@@ -31,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import render_table
 from ..dynamics import DynamicScenario, run_replay
+from ..perf import fast_path_enabled, set_fast_path
 from ..pipeline import run_pipeline
 from ..scenarios import Scenario, get_scenario, list_scenarios
 from .results import SweepRecord, append_jsonl, summary_rows
@@ -142,9 +144,51 @@ def run_scenario(scenario_or_name: "Scenario | str",
         )
 
 
-def _worker(args: Tuple[Scenario, float, Tuple[str, ...]]) -> SweepRecord:
-    scenario, period_s, baselines = args
+def _worker(args: Tuple[Scenario, float, Tuple[str, ...], bool]) -> SweepRecord:
+    scenario, period_s, baselines, fast_path = args
+    # The warm pool's workers were forked once and keep their globals; the
+    # caller's fast-path switch state is shipped per task so a pool created
+    # under a different setting cannot silently apply it.
+    set_fast_path(fast_path)
     return run_scenario(scenario, period_s=period_s, baselines=baselines)
+
+
+# -- persistent warm worker pool ---------------------------------------------
+# Spawning a fresh multiprocessing pool per sweep re-pays interpreter start-up
+# and module import for every call; repeated sweeps (the CLI's dynamics run
+# after a static sweep, test suites, notebook loops) reuse one warm pool as
+# long as the requested worker count matches.
+
+_pool: Optional[multiprocessing.pool.Pool] = None
+_pool_processes = 0
+
+
+def _shutdown_pool() -> None:
+    global _pool, _pool_processes
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_processes = 0
+
+
+atexit.register(_shutdown_pool)
+
+
+def _warm_pool(processes: int) -> multiprocessing.pool.Pool:
+    """The shared pool, recreated only when more workers are needed.
+
+    A larger pool serves a smaller task batch fine, and the effective worker
+    count (``min(jobs, len(todo))``) varies with cache state — shrinking
+    must not throw the warm workers away.
+    """
+    global _pool, _pool_processes
+    if _pool is not None and _pool_processes < processes:
+        _shutdown_pool()
+    if _pool is None:
+        _pool = multiprocessing.Pool(processes=processes)
+        _pool_processes = processes
+    return _pool
 
 
 @dataclass
@@ -238,13 +282,25 @@ def run_sweep(names: Optional[Sequence[str]] = None,
         else:
             todo.append(name)
 
-    job_args = [(get_scenario(name), period_s, tuple(baselines))
+    job_args = [(get_scenario(name), period_s, tuple(baselines),
+                 fast_path_enabled())
                 for name in todo]
     if jobs == 1 or len(todo) <= 1:
         fresh = [_worker(args) for args in job_args]
     else:
-        with multiprocessing.Pool(processes=min(jobs, len(todo))) as pool:
-            fresh = list(pool.imap_unordered(_worker, job_args))
+        processes = min(jobs, len(todo))
+        # Chunked dispatch amortises the per-task IPC round trips; four
+        # chunks per worker keeps the tail balanced when scenario costs vary.
+        chunksize = max(1, len(job_args) // (processes * 4))
+        pool = _warm_pool(processes)
+        try:
+            fresh = list(pool.imap_unordered(_worker, job_args,
+                                             chunksize=chunksize))
+        except Exception:
+            # A broken pool (killed worker, corrupted pipe) must not poison
+            # later sweeps: drop it so the next call starts a fresh one.
+            _shutdown_pool()
+            raise
 
     for record in fresh:
         records[record.scenario] = record

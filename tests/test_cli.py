@@ -57,3 +57,20 @@ class TestCommands:
                      "--seed", "4"]) == 0
         out = capsys.readouterr().out
         assert "Deployment plan" in out
+
+    def test_profile_static_scenario(self, capsys):
+        assert main(["profile", "star-hub-8", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled one pipeline run of star-hub-8" in out
+        assert "cumulative" in out
+        assert "run_pipeline" in out
+
+    def test_profile_dynamic_scenario(self, capsys):
+        assert main(["profile", "dyn-hub-flash", "--top", "3",
+                     "--sort", "tottime"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled one dynamic replay of dyn-hub-flash" in out
+
+    def test_profile_unknown_scenario_fails(self, capsys):
+        assert main(["profile", "no-such-scenario"]) == 2
+        assert "error" in capsys.readouterr().err
