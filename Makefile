@@ -5,10 +5,10 @@ PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
 
-.PHONY: verify tier1 smoke-sweep smoke-sweep-fresh sweep bench bench-smoke \
-	bench-check clean
+.PHONY: verify tier1 smoke-sweep smoke-sweep-fresh smoke-import sweep bench \
+	bench-smoke bench-check clean
 
-verify: tier1 smoke-sweep
+verify: tier1 smoke-sweep smoke-import
 
 tier1:
 	$(PYTEST) -x -q
@@ -22,6 +22,15 @@ smoke-sweep:
 
 smoke-sweep-fresh:
 	$(REPRO) sweep --jobs 2 --filter smoke --cache-dir .sweep-cache --rerun
+
+# The imported family: ingest the committed fixture topology (CAIDA-style
+# AS links) and sweep the derived scenarios through the normal cache path,
+# so real-topology import is exercised on every PR.  --no-save keeps the
+# working tree clean (no manifest is written).
+smoke-import:
+	$(REPRO) import tests/data/sample-aslinks.txt --sizes 8 10 12 --seed 7 \
+		--dynamic --epochs 3 --no-save --sweep --jobs 2 \
+		--cache-dir .sweep-cache
 
 # The full catalog; cached results are reused (use --rerun to force).
 sweep:

@@ -1,0 +1,81 @@
+"""INGEST — cost of importing real-world topologies into the sweep.
+
+The import path (parse → seeded subgraph sample → tier annotation →
+platform build) must stay negligible next to the pipeline work it feeds,
+and the derived platforms must flow through map → plan → quality at the
+usual per-scenario cost.  This benchmark quantifies both on the committed
+CAIDA-style fixture, plus the GridML round-trip bridge.
+"""
+
+import os
+import time
+
+from repro.analysis import render_table
+from repro.gridml import from_xml, to_xml
+from repro.ingest import (
+    SampleSpec,
+    gridml_from_platform,
+    import_platform,
+    load_topology,
+    platform_from_gridml,
+)
+from repro.pipeline import run_pipeline
+
+FIXTURE = os.path.join(os.path.dirname(__file__), os.pardir, "tests",
+                       "data", "sample-aslinks.txt")
+
+
+def test_bench_ingest_build_throughput(benchmark):
+    graph, _, _ = load_topology(FIXTURE)
+
+    def build_family():
+        return [import_platform(graph, SampleSpec(hosts=hosts, seed=7))
+                for hosts in (16, 32, 64)]
+
+    platforms = benchmark.pedantic(build_family, rounds=3, iterations=1)
+    rows = [{
+        "hosts": len(p.hosts()),
+        "nodes": len(p.nodes),
+        "links": len(p.links),
+    } for p in platforms]
+    print("\n[INGEST] imported-platform construction (fixture AS graph)")
+    print(render_table(rows))
+    assert [row["hosts"] for row in rows] == [16, 32, 64]
+
+
+def test_bench_ingest_pipeline_scaling():
+    graph, _, _ = load_topology(FIXTURE)
+    rows = []
+    for hosts in (16, 32):
+        platform = import_platform(graph, SampleSpec(hosts=hosts, seed=7))
+        start = time.perf_counter()
+        result = run_pipeline(platform, baselines=("subnet",))
+        elapsed = time.perf_counter() - start
+        rows.append({
+            "hosts": hosts,
+            "measurements": result.view.stats.measurements,
+            "completeness": round(result.env_report.completeness, 3),
+            "bw_err": round(result.env_report.bandwidth_error, 3),
+            "pipeline_s": round(elapsed, 3),
+        })
+    print("\n[INGEST] pipeline cost on imported platforms")
+    print(render_table(rows))
+    assert all(row["completeness"] > 0.9 for row in rows)
+    assert all(row["pipeline_s"] < 10.0 for row in rows)
+
+
+def test_bench_ingest_gridml_bridge_roundtrip():
+    graph, _, _ = load_topology(FIXTURE)
+    platform = import_platform(graph, SampleSpec(hosts=32, seed=7))
+    start = time.perf_counter()
+    doc = gridml_from_platform(platform)
+    text = to_xml(doc)
+    parsed = from_xml(text)
+    bridged = platform_from_gridml(parsed)
+    elapsed = time.perf_counter() - start
+    print(f"\n[INGEST] platform → GridML → platform round-trip of "
+          f"{len(platform.hosts())} hosts in {elapsed * 1e3:.1f} ms "
+          f"({len(text)} bytes of XML)")
+    assert parsed == doc
+    assert sorted(bridged.host_names()) == sorted(platform.host_names())
+    assert elapsed < 2.0

@@ -11,6 +11,10 @@ the NWS configuration, check its quality):
 * ``quality``   — evaluate the ENV plan against the topology-blind baselines;
 * ``monitor``   — deploy the simulated NWS, run it, and print forecasts;
 * ``scenarios`` — list the registered evaluation scenarios;
+* ``import``    — ingest an external topology file (CAIDA AS-links, edge
+                  list, GraphML or GridML) as registered ``imported``
+                  scenarios, recorded in a manifest so later invocations
+                  still see them;
 * ``sweep``     — run map → plan → quality over many scenarios in parallel,
                   with on-disk result caching;
 * ``dynamics``  — time-varying platforms: ``list`` the dynamic scenarios,
@@ -28,6 +32,7 @@ registry (:mod:`repro.scenarios`).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Tuple
 
@@ -36,6 +41,17 @@ from .core import plan_from_view, render_config
 from .dynamics import list_dynamic_scenarios, run_replay
 from .env import map_ens_lyon, map_platform
 from .gridml import write_gridml
+from .ingest import (
+    DEFAULT_MANIFEST,
+    DEFAULT_SIZES,
+    FORMATS,
+    load_manifest,
+    manifest_entries,
+    record_import,
+    register_imported,
+    register_imported_dynamic,
+    same_source,
+)
 from .netsim import SyntheticSpec, build_ens_lyon, generate_constellation
 from .nws import NWSClient, NWSSystem
 from .pipeline import BASELINE_PLANNERS, run_pipeline
@@ -141,6 +157,57 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list the registered evaluation scenarios")
     p_scenarios.add_argument("--filter", default=None, metavar="PATTERN",
                              help="substring filter on name/family/tags")
+    p_scenarios.add_argument("--family", default=None,
+                             help="exact family filter (e.g. 'imported')")
+
+    p_import = sub.add_parser(
+        "import", help="ingest a topology file as 'imported' scenarios")
+    p_import.add_argument("path", help="topology file (CAIDA AS-links, "
+                                       "edge list, GraphML or GridML; "
+                                       ".gz accepted)")
+    p_import.add_argument("--format", choices=FORMATS, default=None,
+                          help="source format (default: detect from "
+                               "extension/content)")
+    p_import.add_argument("--sizes", type=int, nargs="+",
+                          default=list(DEFAULT_SIZES), metavar="HOSTS",
+                          help="target host counts, one scenario each "
+                               f"(default: {' '.join(map(str, DEFAULT_SIZES))}"
+                               "; ignored for gridml)")
+    p_import.add_argument("--seed", type=int, default=0,
+                          help="sampling/annotation seed (default: 0)")
+    p_import.add_argument("--strategy", choices=("bfs", "degree"),
+                          default="bfs",
+                          help="subgraph sampling strategy (default: bfs)")
+    p_import.add_argument("--name", default=None, metavar="STEM",
+                          help="scenario name stem (default: the file's "
+                               "basename; needed when two imported files "
+                               "share one)")
+    p_import.add_argument("--tag", action="append", default=[],
+                          metavar="TAG", help="extra scenario tag "
+                                              "(repeatable)")
+    p_import.add_argument("--dynamic", action="store_true",
+                          help="also register dyn- churn wrappers "
+                               "(drift replays)")
+    p_import.add_argument("--epochs", type=int, default=6,
+                          help="epochs of the dynamic wrappers (default: 6)")
+    p_import.add_argument("--manifest",
+                          default=os.environ.get("REPRO_IMPORTS",
+                                                 DEFAULT_MANIFEST),
+                          help="manifest recording imports for later "
+                               "invocations (default: $REPRO_IMPORTS or "
+                               f"{DEFAULT_MANIFEST})")
+    p_import.add_argument("--no-save", action="store_true",
+                          help="register for this invocation only "
+                               "(do not touch the manifest)")
+    p_import.add_argument("--sweep", action="store_true",
+                          help="immediately sweep the imported scenarios")
+    p_import.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for --sweep (default: 1)")
+    p_import.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                          help=f"sweep cache for --sweep (default: "
+                               f"{DEFAULT_CACHE_DIR})")
+    p_import.add_argument("--rerun", action="store_true",
+                          help="with --sweep: ignore cached results")
 
     p_sweep = sub.add_parser(
         "sweep", help="run map → plan → quality over many scenarios")
@@ -269,9 +336,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
-    scenarios = list_scenarios(args.filter)
+    scenarios = list_scenarios(args.filter, family=args.family)
     if not scenarios:
-        print(f"no scenarios match {args.filter!r}")
+        wanted = args.filter if args.family is None else \
+            f"{args.filter or ''} (family {args.family})".strip()
+        print(f"no scenarios match {wanted!r}")
         return 1
     rows = [{
         "scenario": s.name,
@@ -300,6 +369,72 @@ def _print_sweep_result(result, jobs: int, output_format: str) -> int:
         print(f"\nerror in scenario {record.scenario}:\n{record.error}",
               file=sys.stderr)
     return 1 if result.errors else 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    path = args.path
+    if not args.no_save and os.path.exists(args.manifest):
+        # A re-import of an already-recorded source keeps the recorded path
+        # spelling: the spelling is a scenario parameter, so a respelling
+        # would change content hashes and orphan the existing sweep cache.
+        recorded = next(
+            (e["path"] for e in manifest_entries(args.manifest)
+             if e.get("path") and same_source(e["path"], args.path)), None)
+        path = recorded or args.path
+        # Re-register the other recorded imports first, so a scenario-name
+        # collision with an earlier import fails *now* (exit 2, nothing
+        # recorded) instead of silently recording an entry that every later
+        # invocation skips with a warning.
+        load_manifest(args.manifest, exclude_path=path)
+    scenarios = register_imported(path, format=args.format,
+                                  sizes=tuple(args.sizes), seed=args.seed,
+                                  strategy=args.strategy,
+                                  tags=tuple(args.tag), name=args.name)
+    if args.dynamic:
+        scenarios = scenarios + register_imported_dynamic(
+            scenarios, epochs=args.epochs)
+    names = [s.name for s in scenarios]
+    rows = [{
+        "scenario": s.name,
+        "family": s.family,
+        "tags": ",".join(s.tags) or "-",
+        "hash": s.content_hash[:12],
+        "hosts": s.param_dict.get("hosts", "-"),
+        "description": s.description,
+    } for s in scenarios]
+    print(render_table(rows))
+    print(f"\nregistered {len(names)} scenarios from {args.path}")
+    if not args.no_save:
+        record_import({
+            # The path spelling actually *registered* (a re-import under a
+            # new spelling keeps the first registration, and the recorded
+            # path must match it or hashes would drift across processes and
+            # orphan the sweep cache) plus the resolved format, so later
+            # loads skip re-sniffing.
+            "path": scenarios[0].param_dict["path"],
+            "format": scenarios[0].param_dict.get("format", "gridml"),
+            "sizes": list(args.sizes),
+            "seed": args.seed,
+            "strategy": args.strategy,
+            "name": args.name,
+            "tags": list(args.tag),
+            "dynamic": bool(args.dynamic),
+            "epochs": args.epochs,
+            "digest": scenarios[0].param_dict["digest"],
+        }, manifest_path=args.manifest)
+        if args.manifest == DEFAULT_MANIFEST:
+            print(f"recorded in {args.manifest} "
+                  "(later invocations re-register automatically)")
+        else:
+            print(f"recorded in {args.manifest} (set "
+                  f"REPRO_IMPORTS={args.manifest} so later invocations "
+                  "re-register automatically)")
+    if args.sweep:
+        result = run_sweep(names=names, jobs=args.jobs,
+                           cache_dir=args.cache_dir, rerun=args.rerun)
+        print()
+        return _print_sweep_result(result, args.jobs, "table")
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -404,6 +539,37 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_recorded_imports(command: str) -> None:
+    """Re-register manifest-recorded imported scenarios for this invocation.
+
+    Makes ``repro import`` persistent across CLI processes: a later
+    ``repro scenarios --family imported`` / ``repro sweep`` sees the same
+    registrations (and identical content hashes, so the sweep cache keeps
+    working).  A non-default manifest written with ``--manifest PATH`` is
+    picked up via the ``REPRO_IMPORTS`` environment variable.  The
+    ``import`` command itself skips the reload — it is about to
+    (re-)register its own source with fresh knobs.
+    """
+    if command not in ("scenarios", "sweep", "dynamics", "profile"):
+        # Only registry-consuming commands reload (cheap — recorded digests
+        # are trusted until build time — but pointless for commands that
+        # never look at the registry); ``import`` handles its own manifest.
+        return
+    manifest = os.environ.get("REPRO_IMPORTS", DEFAULT_MANIFEST)
+    if not os.path.exists(manifest):
+        return
+    import warnings
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        try:
+            load_manifest(manifest)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"warning: ignoring manifest {manifest}: {exc}",
+                  file=sys.stderr)
+    for entry in caught:
+        print(f"warning: {entry.message}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro`` command; returns the exit status."""
     parser = build_parser()
@@ -414,13 +580,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "quality": _cmd_quality,
         "monitor": _cmd_monitor,
         "scenarios": _cmd_scenarios,
+        "import": _cmd_import,
         "sweep": _cmd_sweep,
         "dynamics": _cmd_dynamics,
         "profile": _cmd_profile,
     }
+    _load_recorded_imports(args.command)
     try:
         return handlers[args.command](args)
-    except (ValueError, KeyError) as exc:
+    except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -295,7 +295,8 @@ def _apply_bandwidth_drift(platform: Platform, event: ChurnEvent,
         return None
     node = platform.nodes.get(event.target)
     if node is not None and node.is_hub:
-        node.bandwidth_mbps = _clamp(node.bandwidth_mbps * event.factor, lo, hi)
+        platform.set_hub_bandwidth(
+            event.target, _clamp(node.bandwidth_mbps * event.factor, lo, hi))
         for neighbour in platform.graph.neighbors(event.target):
             link = platform.link_between(event.target, neighbour)
             platform.set_link_bandwidth(

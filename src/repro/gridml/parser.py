@@ -22,18 +22,30 @@ def _parse_property(elem: ET.Element) -> GridProperty:
     return GridProperty(name=name, value=value, units=elem.get("units"))
 
 
+def _machine_name(elem: ET.Element) -> str:
+    """Canonical name of a ``MACHINE`` element (LABEL name, else attribute).
+
+    The LABEL is authoritative when present (full machine declarations);
+    bare references carry only a name attribute.  Raises
+    :class:`GridMLParseError` when neither yields a non-empty name, so
+    unnamed machine references fail loudly instead of being dropped.
+    """
+    label = elem.find("LABEL")
+    name = label.get("name") if label is not None else None
+    if name is None:
+        name = elem.get("name")
+    if not name:
+        raise GridMLParseError("MACHINE element without a usable name "
+                               "(no LABEL name and no name attribute)")
+    return name
+
+
 def _parse_machine(elem: ET.Element) -> MachineEntry:
     label = elem.find("LABEL")
     if label is None:
         # Machine reference inside a NETWORK: only a name attribute.
-        name = elem.get("name")
-        if name is None:
-            raise GridMLParseError("MACHINE element without LABEL or name")
-        return MachineEntry(name=name)
-    name = label.get("name")
-    if name is None:
-        raise GridMLParseError("MACHINE LABEL requires a name attribute")
-    machine = MachineEntry(name=name, ip=label.get("ip"))
+        return MachineEntry(name=_machine_name(elem))
+    machine = MachineEntry(name=_machine_name(elem), ip=label.get("ip"))
     for alias in label.findall("ALIAS"):
         alias_name = alias.get("name")
         if alias_name:
@@ -53,12 +65,7 @@ def _parse_network(elem: ET.Element) -> NetworkEntry:
         if child.tag == "PROPERTY":
             network.properties.append(_parse_property(child))
         elif child.tag == "MACHINE":
-            name = child.get("name")
-            if name is None:
-                label = child.find("LABEL")
-                name = label.get("name") if label is not None else None
-            if name:
-                network.machines.append(name)
+            network.machines.append(_machine_name(child))
         elif child.tag == "NETWORK":
             network.subnetworks.append(_parse_network(child))
     return network

@@ -1,0 +1,58 @@
+"""Topology ingestion: real-world graphs as first-class scenarios.
+
+``repro.ingest`` turns external topology descriptions — CAIDA-style AS-links
+traces, plain edge lists, GraphML router maps and GridML documents — into
+registered, content-hashed evaluation scenarios (the ``imported`` family)
+that sweep, cache and churn-replay exactly like the built-in catalog::
+
+    from repro.ingest import register_imported
+    from repro.sweep import run_sweep
+
+    scenarios = register_imported("traces/aslinks.txt", sizes=(32, 64))
+    run_sweep(names=[s.name for s in scenarios])
+
+The CLI surface is ``repro import <file>`` (see the README's "Importing real
+topologies" section).
+"""
+
+from .bridge import gridml_from_platform, platform_from_gridml
+from .build import degree_tiers, import_platform, platform_from_graph
+from .formats import (
+    FORMATS,
+    TopologyGraph,
+    TopologyParseError,
+    detect_format,
+    file_digest,
+    load_topology,
+    parse_aslinks,
+    parse_edge_list,
+    parse_graphml,
+    read_text,
+)
+from .manifest import (
+    DEFAULT_MANIFEST,
+    load_manifest,
+    manifest_entries,
+    record_import,
+)
+from .sample import SampleSpec, router_budget, sample_subgraph
+from .scenarios import (
+    DEFAULT_SIZES,
+    IMPORTED_FAMILY,
+    imported_name,
+    register_imported,
+    register_imported_dynamic,
+    same_source,
+)
+
+__all__ = [
+    "TopologyGraph", "TopologyParseError", "FORMATS",
+    "parse_edge_list", "parse_aslinks", "parse_graphml",
+    "detect_format", "file_digest", "read_text", "load_topology",
+    "SampleSpec", "sample_subgraph", "router_budget",
+    "degree_tiers", "platform_from_graph", "import_platform",
+    "platform_from_gridml", "gridml_from_platform",
+    "IMPORTED_FAMILY", "DEFAULT_SIZES", "imported_name",
+    "register_imported", "register_imported_dynamic", "same_source",
+    "DEFAULT_MANIFEST", "record_import", "load_manifest", "manifest_entries",
+]

@@ -1,0 +1,187 @@
+"""Turn a sampled topology graph into a runnable evaluation platform.
+
+The imported graph only says *who connects to whom*; everything the ENV
+pipeline measures — bandwidths, latencies, LAN structure — is annotated here
+with degree/tier heuristics in the spirit of AS-graph models:
+
+* nodes are ranked by degree into **core** (top eighth — backbone exchange
+  points), **transit** (multi-homed middle) and **stub** (the low-degree
+  edge);
+* every graph node becomes a router; graph edges become router–router links
+  whose bandwidth/latency ranges depend on the lower tier of their two
+  endpoints (core links are fat and near, stub links thin and far), with
+  seeded jitter inside the range so paths are genuinely heterogeneous;
+* evaluation hosts live in LAN clusters (hub or switched, per
+  :class:`~repro.ingest.sample.SampleSpec`) attached to the stub routers
+  round-robin until the target host count is reached.
+
+The result carries ``platform.ground_truth`` like every synthetic generator,
+so sweep scoring works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..netsim.builders import SiteBuilder
+from ..netsim.generators import attach_cluster, finish_platform
+from ..netsim.topology import Platform
+from .formats import TopologyGraph, sanitise_name
+from .sample import SampleSpec, sample_subgraph
+
+__all__ = ["degree_tiers", "platform_from_graph", "import_platform"]
+
+#: Inclusive Mb/s range per (tier, tier) link class; key order-insensitive.
+_TIER_BANDWIDTH_MBPS: Dict[Tuple[str, str], Tuple[float, float]] = {
+    ("core", "core"): (2500.0, 10000.0),
+    ("core", "transit"): (1000.0, 2500.0),
+    ("transit", "transit"): (622.0, 1000.0),
+    ("core", "stub"): (155.0, 622.0),
+    ("transit", "stub"): (100.0, 622.0),
+    ("stub", "stub"): (34.0, 155.0),
+}
+
+#: One-way latency range (seconds) keyed by the *lower* tier of a link.
+_TIER_LATENCY_S: Dict[str, Tuple[float, float]] = {
+    "core": (1e-3, 8e-3),
+    "transit": (4e-3, 2e-2),
+    "stub": (8e-3, 4e-2),
+}
+
+_TIER_RANK = {"core": 0, "transit": 1, "stub": 2}
+
+#: LAN bandwidths an attached cluster draws from.
+_CLUSTER_BANDWIDTH_MBPS = (100.0, 1000.0)
+_CLUSTER_LATENCY_S = 1e-4
+
+
+def degree_tiers(graph: TopologyGraph) -> Dict[str, str]:
+    """Node → ``"core"`` / ``"transit"`` / ``"stub"`` by degree rank.
+
+    The top eighth by degree (at least one node) is core; remaining
+    multi-homed nodes are transit; the single-homed edge is stub.
+    """
+    degree = graph.degrees()
+    ranked = sorted(graph.nodes, key=lambda node: (-degree[node], node))
+    core = set(ranked[:max(1, len(ranked) // 8)])
+    tiers: Dict[str, str] = {}
+    for node in graph.nodes:
+        if node in core:
+            tiers[node] = "core"
+        elif degree[node] >= 2:
+            tiers[node] = "transit"
+        else:
+            tiers[node] = "stub"
+    return tiers
+
+
+def _link_class(tier_a: str, tier_b: str) -> Tuple[str, str]:
+    return tuple(sorted((tier_a, tier_b), key=_TIER_RANK.__getitem__))
+
+
+def _router_names(nodes: Tuple[str, ...]) -> Dict[str, str]:
+    """Unique, sanitised router name per graph node (collision-suffixed).
+
+    Suffixed candidates are checked against every name already emitted —
+    sanitisation can map distinct ids onto each other *and* onto suffixed
+    forms (``"a@"`` → ``"a"``, ``"a!2"`` → ``"a-2"``).
+    """
+    names: Dict[str, str] = {}
+    used: set = set()
+    for node in nodes:
+        base = sanitise_name(node)
+        candidate, suffix = base, 2
+        while candidate in used:
+            candidate = f"{base}-{suffix}"
+            suffix += 1
+        used.add(candidate)
+        names[node] = candidate
+    return names
+
+
+def platform_from_graph(graph: TopologyGraph, spec: SampleSpec,
+                        name: str = None) -> Platform:
+    """Annotate ``graph`` into a validated evaluation :class:`Platform`.
+
+    ``graph`` is used as-is (sample first via :func:`import_platform` or
+    :func:`~repro.ingest.sample.sample_subgraph` for large sources); it must
+    be connected.  Deterministic in ``(graph, spec)``.
+    """
+    if len(graph.nodes) < 2:
+        raise ValueError(f"{graph.name}: need at least two connected nodes")
+    rng = np.random.default_rng(spec.seed)
+    tiers = degree_tiers(graph)
+    routers = _router_names(graph.nodes)
+    if len(routers) > 400:
+        raise ValueError(f"{graph.name}: {len(routers)} routers exceed the "
+                         "address plan; sample the graph down first")
+
+    b = SiteBuilder(name=name or f"imported-{graph.name}")
+    platform = b.platform
+    platform.add_external("internet")
+    for idx, node in enumerate(graph.nodes):
+        b.add_router(routers[node],
+                     ip=f"172.{16 + idx // 200}.{idx % 200 + 1}.1")
+
+    # The best-connected core router is the import's internet exchange.
+    degree = graph.degrees()
+    uplink = max(graph.nodes, key=lambda n: (degree[n], n))
+    b.connect(routers[uplink], "internet", 2500.0, latency_s=5e-3)
+
+    for node_a, node_b in graph.edges:
+        lo_bw, hi_bw = _TIER_BANDWIDTH_MBPS[_link_class(tiers[node_a],
+                                                        tiers[node_b])]
+        lower = max(tiers[node_a], tiers[node_b], key=_TIER_RANK.__getitem__)
+        lo_lat, hi_lat = _TIER_LATENCY_S[lower]
+        b.connect(routers[node_a], routers[node_b],
+                  float(np.round(rng.uniform(lo_bw, hi_bw), 1)),
+                  latency_s=float(rng.uniform(lo_lat, hi_lat)))
+
+    # Hosts cluster at the network edge: stub routers first, falling back to
+    # transit (then core) when the sample has no single-homed nodes.
+    edge_nodes = [n for n in graph.nodes if tiers[n] == "stub"]
+    if len(edge_nodes) < 2:
+        edge_nodes = [n for n in graph.nodes if tiers[n] != "core"]
+    if len(edge_nodes) < 2:
+        edge_nodes = list(graph.nodes)
+
+    ground_truth: Dict[str, Dict[str, object]] = {}
+    lo, hi = spec.hosts_per_cluster
+    remaining = spec.hosts
+    cluster_idx = 0
+    while remaining > 0:
+        if cluster_idx > 253:
+            raise ValueError("cluster subnet plan exhausted; "
+                             "lower the host target")
+        node = edge_nodes[cluster_idx % len(edge_nodes)]
+        size = min(remaining, int(rng.integers(lo, hi + 1)))
+        if remaining - size == 1:        # avoid a trailing one-host cluster
+            size = remaining
+        kind = "hub" if rng.random() < spec.hub_probability else "switch"
+        bandwidth = float(rng.choice(_CLUSTER_BANDWIDTH_MBPS))
+        # A graph node may itself be named like a generated host
+        # ("ah0n0"): suffix until clear of every existing platform element.
+        host_names = []
+        for i in range(size):
+            candidate = f"{routers[node]}h{cluster_idx}n{i}"
+            while candidate in platform.nodes:
+                candidate += "x"
+            host_names.append(candidate)
+        attach_cluster(
+            b, segment=f"{routers[node]}-c{cluster_idx}-{kind}", kind=kind,
+            host_names=host_names, subnet=f"10.{cluster_idx + 1}.1",
+            domain=f"{routers[node]}.{sanitise_name(graph.name)}.net",
+            bandwidth_mbps=bandwidth, latency_s=_CLUSTER_LATENCY_S,
+            attach_to=routers[node], site=cluster_idx,
+            ground_truth=ground_truth)
+        remaining -= size
+        cluster_idx += 1
+    return finish_platform(platform, ground_truth)
+
+
+def import_platform(graph: TopologyGraph, spec: SampleSpec,
+                    name: str = None) -> Platform:
+    """Sample ``graph`` down per ``spec`` and build the platform."""
+    return platform_from_graph(sample_subgraph(graph, spec), spec, name=name)

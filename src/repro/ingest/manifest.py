@@ -1,0 +1,112 @@
+"""Import manifest: persistence for the ``imported`` scenario family.
+
+The scenario registry is per-process; without persistence, a topology
+imported by ``repro import`` would vanish before the next CLI invocation
+could sweep it.  The manifest is a small JSON file (default
+``.repro-imports.json`` in the working directory) recording every import's
+source path and knobs; the CLI re-registers from it at start-up, so
+
+.. code-block:: console
+
+    $ repro import traces/aslinks.txt --sizes 32 64
+    $ repro scenarios --family imported      # still there
+    $ repro sweep --filter imported          # sweeps and caches
+
+works across processes.  Content hashes are a pure function of the recorded
+entry, so re-registration yields bit-identical hashes — cached sweep results
+stay valid.  Paths are recorded as imported and resolved against the
+invocation's working directory (relative spellings keep hashes portable
+across checkouts); import with absolute paths when one manifest must serve
+several working directories.  Entries whose source file disappeared are skipped with a
+warning; a file that *changed* since its import still registers (hashing
+every recorded source at CLI start-up would be prohibitive for real traces)
+and fails loudly at build time, where the builder re-verifies the digest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from typing import Dict, List
+
+from ..ioutils import write_atomic
+from ..scenarios.registry import Scenario
+from .scenarios import register_imported, register_imported_dynamic, same_source
+
+__all__ = ["DEFAULT_MANIFEST", "record_import", "load_manifest",
+           "manifest_entries"]
+
+DEFAULT_MANIFEST = ".repro-imports.json"
+
+
+def manifest_entries(manifest_path: str = DEFAULT_MANIFEST) -> List[Dict]:
+    """The recorded import entries (empty when no manifest exists)."""
+    if not os.path.exists(manifest_path):
+        return []
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or not isinstance(data.get("imports"), list) \
+            or not all(isinstance(e, dict) for e in data["imports"]):
+        raise ValueError(f"{manifest_path}: not an import manifest")
+    return data["imports"]
+
+
+def record_import(entry: Dict, manifest_path: str = DEFAULT_MANIFEST) -> None:
+    """Record (or refresh) one import in the manifest, atomically.
+
+    Entries are keyed by source path (compared canonically, so absolute and
+    relative spellings collapse) — re-importing the same source with
+    whatever knobs, including a corrected ``--format``, replaces its
+    previous record.
+    """
+    entries = [e for e in manifest_entries(manifest_path)
+               if not same_source(e.get("path"), entry.get("path"))]
+    entries.append(entry)
+    entries.sort(key=lambda e: (str(e.get("path")), str(e.get("format"))))
+    payload = json.dumps({"schema": 1, "imports": entries}, indent=1,
+                         sort_keys=True) + "\n"
+    write_atomic(manifest_path, payload, suffix=".json")
+
+
+def load_manifest(manifest_path: str = DEFAULT_MANIFEST,
+                  exclude_path: str = None) -> List[Scenario]:
+    """Re-register every recorded import; returns the registered scenarios.
+
+    Entries that cannot register (missing source file, malformed fields)
+    are skipped with a warning instead of failing the whole CLI invocation —
+    `repro import` the file again to refresh them.  A *changed* source file
+    still registers with its recorded digest (no start-up hashing) and
+    fails loudly at build time instead.  ``exclude_path`` skips one
+    source's entry (the file an in-flight ``repro import`` is about to
+    re-register with fresh knobs).
+    """
+    registered: List[Scenario] = []
+    for entry in manifest_entries(manifest_path):
+        path = entry.get("path")
+        if exclude_path is not None and path is not None \
+                and same_source(path, exclude_path):
+            continue
+        try:
+            if not path or not os.path.exists(path):
+                raise FileNotFoundError(f"source file missing: {path!r}")
+            # Register from the *recorded* digest without re-hashing the
+            # file: start-up must stay cheap for multi-hundred-MB traces,
+            # and the builder re-verifies the digest before every build.
+            scenarios = register_imported(
+                path,
+                format=entry.get("format"),
+                sizes=entry.get("sizes", ()) or (),
+                seed=int(entry.get("seed", 0)),
+                strategy=entry.get("strategy", "bfs"),
+                tags=tuple(entry.get("tags", ())),
+                name=entry.get("name"),
+                digest=entry.get("digest"))
+            registered.extend(scenarios)
+            if entry.get("dynamic"):
+                registered.extend(register_imported_dynamic(
+                    scenarios, epochs=int(entry.get("epochs", 6))))
+        except (OSError, ValueError, TypeError) as exc:
+            warnings.warn(f"{manifest_path}: skipping import entry "
+                          f"{path!r} ({exc})", stacklevel=2)
+    return registered

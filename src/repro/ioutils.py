@@ -1,0 +1,35 @@
+"""Small filesystem helpers shared across subsystems."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["write_atomic"]
+
+
+def write_atomic(path: str, text: str, suffix: str = "") -> None:
+    """Write ``text`` to ``path`` without ever exposing a partial file.
+
+    A killed process mid-write must not leave a truncated file behind: the
+    content goes to a temporary file in the same directory first and is
+    moved into place with :func:`os.replace` (atomic on POSIX).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                                    suffix=suffix)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        # mkstemp creates 0600 files; restore umask-governed permissions so
+        # e.g. a shared sweep cache stays readable across users.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -22,6 +22,8 @@ from .generators import (
     StarSpec,
     SyntheticSpec,
     WanGridSpec,
+    attach_cluster,
+    finish_platform,
     generate_campus,
     generate_constellation,
     generate_degraded,
@@ -65,7 +67,7 @@ __all__ = [
     "BackgroundLoad", "LoadSpec", "constant_pair_load", "poisson_pair_load",
     "SiteBuilder", "ClusterSpec",
     "SyntheticSpec", "generate_constellation", "generate_single_site",
-    "ground_truth_groups",
+    "ground_truth_groups", "attach_cluster", "finish_platform",
     "WanGridSpec", "generate_wan_grid",
     "CampusSpec", "generate_campus",
     "FatTreeSpec", "generate_fat_tree",

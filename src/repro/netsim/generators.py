@@ -22,7 +22,7 @@ from .topology import Platform
 from .vlan import VlanPlan
 
 __all__ = ["SyntheticSpec", "generate_constellation", "generate_single_site",
-           "ground_truth_groups",
+           "ground_truth_groups", "attach_cluster", "finish_platform",
            "WanGridSpec", "generate_wan_grid",
            "CampusSpec", "generate_campus",
            "FatTreeSpec", "generate_fat_tree",
@@ -94,7 +94,7 @@ def generate_constellation(spec: SyntheticSpec) -> Platform:
             # routers do) so traceroutes separate the clusters structurally.
             gateway = (host_names[0]
                        if n_hosts >= 2 and rng.random() < 0.5 else None)
-            _add_cluster(b, segment=segment, kind=kind, host_names=host_names,
+            attach_cluster(b, segment=segment, kind=kind, host_names=host_names,
                          subnet=subnet, domain=domain, bandwidth_mbps=bw,
                          latency_s=spec.lan_latency_s, attach_to=site_router,
                          site=s, ground_truth=ground_truth, gateway=gateway)
@@ -140,7 +140,7 @@ def generate_single_site(n_hub_clusters: int = 1, n_switch_clusters: int = 1,
     for kind, count in (("hub", n_hub_clusters), ("switch", n_switch_clusters)):
         for _ in range(count):
             host_names = [f"c{cluster_idx}h{h}" for h in range(hosts_per_cluster)]
-            _add_cluster(b, segment=f"c{cluster_idx}-{kind}", kind=kind,
+            attach_cluster(b, segment=f"c{cluster_idx}-{kind}", kind=kind,
                          host_names=host_names,
                          subnet=_site_subnet(0, cluster_idx),
                          domain="site0.example.org",
@@ -171,8 +171,8 @@ def ground_truth_groups(platform: Platform) -> Dict[str, Dict[str, object]]:
 # ---------------------------------------------------------------------------
 
 
-def _finish(platform: Platform,
-            ground_truth: Dict[str, Dict[str, object]]) -> Platform:
+def finish_platform(platform: Platform,
+                    ground_truth: Dict[str, Dict[str, object]]) -> Platform:
     """Record the ground truth, validate and return the platform."""
     platform.ground_truth = ground_truth  # type: ignore[attr-defined]
     problems = platform.validate()
@@ -182,16 +182,22 @@ def _finish(platform: Platform,
     return platform
 
 
-def _add_cluster(b: SiteBuilder, segment: str, kind: str,
-                 host_names: List[str], subnet: str, domain: str,
-                 bandwidth_mbps: float, latency_s: float,
-                 attach_to: str, site: int,
-                 ground_truth: Dict[str, Dict[str, object]],
-                 gateway: Optional[str] = None,
-                 uplink_mbps: Optional[float] = None) -> None:
-    """One hub/switch cluster attached to ``attach_to`` (router or gateway)."""
-    for name in host_names:
-        b.add_host(name, subnet=subnet, domain=domain)
+def attach_cluster(b: SiteBuilder, segment: str, kind: str,
+                   host_names: List[str], subnet: str, domain: str,
+                   bandwidth_mbps: float, latency_s: float,
+                   attach_to: str, site: int,
+                   ground_truth: Dict[str, Dict[str, object]],
+                   gateway: Optional[str] = None,
+                   uplink_mbps: Optional[float] = None,
+                   create_hosts: bool = True) -> None:
+    """One hub/switch cluster attached to ``attach_to`` (router or gateway).
+
+    ``create_hosts=False`` wires up pre-existing hosts (callers that need
+    explicit per-host addresses or properties, like the GridML bridge).
+    """
+    if create_hosts:
+        for name in host_names:
+            b.add_host(name, subnet=subnet, domain=domain)
     if kind == "hub":
         b.add_hub_segment(segment, host_names, bandwidth_mbps,
                           latency_s=latency_s)
@@ -277,13 +283,13 @@ def generate_wan_grid(spec: WanGridSpec) -> Platform:
             kind = "hub" if rng.random() < spec.hub_probability else "switch"
             bw = float(rng.choice(spec.lan_bandwidth_mbps))
             host_names = [f"g{site}h{h}" for h in range(n_hosts)]
-            _add_cluster(b, segment=f"g{site}-{kind}", kind=kind,
+            attach_cluster(b, segment=f"g{site}-{kind}", kind=kind,
                          host_names=host_names, subnet=f"10.{site + 1}.1",
                          domain=f"site{site}.grid.example.org",
                          bandwidth_mbps=bw, latency_s=spec.lan_latency_s,
                          attach_to=router_name(r, c), site=site,
                          ground_truth=ground_truth)
-    return _finish(platform, ground_truth)
+    return finish_platform(platform, ground_truth)
 
 
 @dataclass
@@ -338,7 +344,7 @@ def generate_campus(spec: CampusSpec) -> Platform:
         # Firewalled departments reach the core through a dual-homed gateway
         # host (the NAT box); open departments attach their segment directly.
         gateway = host_names[0] if firewalled else None
-        _add_cluster(b, segment=f"d{d}-{kind}", kind=kind,
+        attach_cluster(b, segment=f"d{d}-{kind}", kind=kind,
                      host_names=host_names, subnet=f"10.{100 + d}.1",
                      domain=domain, bandwidth_mbps=bw,
                      latency_s=spec.lan_latency_s, attach_to=dept_router,
@@ -349,7 +355,7 @@ def generate_campus(spec: CampusSpec) -> Platform:
 
     if spec.firewalled_departments:
         attach_firewall(platform, firewall)
-    return _finish(platform, ground_truth)
+    return finish_platform(platform, ground_truth)
 
 
 @dataclass
@@ -382,14 +388,14 @@ def generate_fat_tree(spec: FatTreeSpec) -> Platform:
                   latency_s=spec.latency_s)
         for e in range(spec.edges_per_pod):
             host_names = [f"p{p}e{e}h{h}" for h in range(spec.hosts_per_edge)]
-            _add_cluster(b, segment=f"p{p}e{e}-switch", kind="switch",
+            attach_cluster(b, segment=f"p{p}e{e}-switch", kind="switch",
                          host_names=host_names, subnet=f"10.{p + 1}.{e + 1}",
                          domain="fat-tree.example.org",
                          bandwidth_mbps=spec.edge_bandwidth_mbps,
                          latency_s=spec.latency_s, attach_to=pod_router,
                          site=p, ground_truth=ground_truth,
                          uplink_mbps=spec.aggregation_bandwidth_mbps)
-    return _finish(platform, ground_truth)
+    return finish_platform(platform, ground_truth)
 
 
 @dataclass
@@ -415,12 +421,12 @@ def generate_star(spec: StarSpec) -> Platform:
     b.connect("star-router", "internet", spec.bandwidth_mbps, latency_s=5e-3)
     ground_truth: Dict[str, Dict[str, object]] = {}
     host_names = [f"star{h}" for h in range(spec.hosts)]
-    _add_cluster(b, segment=f"star-{spec.kind}", kind=spec.kind,
+    attach_cluster(b, segment=f"star-{spec.kind}", kind=spec.kind,
                  host_names=host_names, subnet="10.9.1",
                  domain="star.example.org", bandwidth_mbps=spec.bandwidth_mbps,
                  latency_s=spec.latency_s, attach_to="star-router", site=0,
                  ground_truth=ground_truth)
-    return _finish(platform, ground_truth)
+    return finish_platform(platform, ground_truth)
 
 
 @dataclass
@@ -459,14 +465,14 @@ def generate_ring(spec: RingSpec) -> Platform:
                                    spec.hosts_per_site[1] + 1))
         kind = "hub" if rng.random() < spec.hub_probability else "switch"
         host_names = [f"r{s}h{h}" for h in range(n_hosts)]
-        _add_cluster(b, segment=f"r{s}-{kind}", kind=kind,
+        attach_cluster(b, segment=f"r{s}-{kind}", kind=kind,
                      host_names=host_names, subnet=f"10.{s + 1}.1",
                      domain=f"site{s}.ring.example.org",
                      bandwidth_mbps=spec.lan_bandwidth_mbps,
                      latency_s=spec.lan_latency_s,
                      attach_to=f"ring{s}-router", site=s,
                      ground_truth=ground_truth)
-    return _finish(platform, ground_truth)
+    return finish_platform(platform, ground_truth)
 
 
 @dataclass
@@ -518,7 +524,7 @@ def generate_degraded(spec: DegradedSpec) -> Platform:
     )
     for idx, (tag, kind, router, bw, lat, site) in enumerate(clusters):
         host_names = [f"{tag}{h}" for h in range(spec.hosts_per_cluster)]
-        _add_cluster(b, segment=f"{tag}-{kind}", kind=kind,
+        attach_cluster(b, segment=f"{tag}-{kind}", kind=kind,
                      host_names=host_names, subnet=f"10.{idx + 1}.1",
                      domain=f"site{site}.degraded.example.org",
                      bandwidth_mbps=bw, latency_s=lat, attach_to=router,
@@ -544,4 +550,4 @@ def generate_degraded(spec: DegradedSpec) -> Platform:
         vlans.assign(host, f"vlan{i % 2}")
     vlans.apply(platform)
     platform.vlan_plan = vlans  # type: ignore[attr-defined]
-    return _finish(platform, ground_truth)
+    return finish_platform(platform, ground_truth)

@@ -377,6 +377,22 @@ class Platform:
         self.links[name].latency_s = latency_s
         self._bump(("link", name))
 
+    def set_hub_bandwidth(self, name: str, bandwidth_mbps: float) -> None:
+        """Change a hub segment's shared capacity in place.
+
+        The only sound way to drift a hub: assigning
+        ``node.bandwidth_mbps`` directly would leave the ``("hub", name)``
+        element version untouched, so probe memos would keep serving
+        measurements of the old capacity.
+        """
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"hub {name!r} bandwidth must be positive")
+        node = self.nodes[name]
+        if not node.is_hub:
+            raise ValueError(f"{name!r} is not a hub")
+        node.bandwidth_mbps = bandwidth_mbps
+        self._bump(("hub", name))
+
     def remove_link(self, name: str) -> Link:
         """Remove a link (failure).  Returns it so it can be restored later.
 

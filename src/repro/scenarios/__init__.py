@@ -19,6 +19,7 @@ from .registry import (
     registry_snapshot,
     restore_registry,
     scenario_names,
+    unregister,
 )
 from .catalog import load_catalog  # noqa: F401  (import populates the registry)
 
@@ -27,6 +28,7 @@ __all__ = [
     "register",
     "register_scenario",
     "get_scenario",
+    "unregister",
     "list_scenarios",
     "scenario_names",
     "clear_registry",

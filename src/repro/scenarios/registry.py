@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..netsim.topology import Platform
 
 __all__ = ["Scenario", "register", "register_scenario", "get_scenario",
-           "list_scenarios", "scenario_names", "clear_registry",
+           "unregister", "list_scenarios", "scenario_names", "clear_registry",
            "registry_snapshot", "restore_registry"]
 
 _REGISTRY: Dict[str, "Scenario"] = {}
@@ -138,14 +138,32 @@ def get_scenario(name: str) -> Scenario:
                        f"{', '.join(sorted(_REGISTRY)) or '(none)'}") from None
 
 
-def list_scenarios(pattern: Optional[str] = None) -> List[Scenario]:
-    """All registered scenarios (optionally filtered), sorted by name."""
-    return sorted((s for s in _REGISTRY.values() if s.matches(pattern)),
+def unregister(name: str) -> None:
+    """Drop one registration if present.
+
+    For callers that deliberately replace a definition — e.g. re-importing
+    a topology source with new knobs; :func:`register` alone refuses a
+    changed definition under an existing name.
+    """
+    _REGISTRY.pop(name, None)
+
+
+def list_scenarios(pattern: Optional[str] = None,
+                   family: Optional[str] = None) -> List[Scenario]:
+    """All registered scenarios, sorted by name.
+
+    ``pattern`` is a substring filter over name/family/tags; ``family`` is an
+    exact family match (e.g. ``"imported"``).  Both filters compose.
+    """
+    return sorted((s for s in _REGISTRY.values()
+                   if s.matches(pattern)
+                   and (family is None or s.family == family)),
                   key=lambda s: s.name)
 
 
-def scenario_names(pattern: Optional[str] = None) -> List[str]:
-    return [s.name for s in list_scenarios(pattern)]
+def scenario_names(pattern: Optional[str] = None,
+                   family: Optional[str] = None) -> List[str]:
+    return [s.name for s in list_scenarios(pattern, family=family)]
 
 
 def clear_registry() -> None:

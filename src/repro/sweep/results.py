@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -33,10 +34,41 @@ class SweepRecord:
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
 
+    #: Fields a stored record must carry; anything else falls back to the
+    #: dataclass defaults.  ``scenario_hash`` may legitimately be empty (error
+    #: records of unresolvable scenarios), ``scenario`` may not.
+    _REQUIRED = ("scenario", "family", "scenario_hash", "code_version")
+
     @classmethod
     def from_json(cls, line: str) -> "SweepRecord":
+        """Parse one store line, rejecting corrupt/truncated records.
+
+        Raises :class:`ValueError` when the line is not a JSON object, a
+        required field is missing or mistyped, or the status is unknown —
+        instead of silently constructing a record full of ``None``s.
+        """
         data = json.loads(line)
-        return cls(**{k: data.get(k) for k in cls.__dataclass_fields__})
+        if not isinstance(data, dict):
+            raise ValueError("sweep record line is not a JSON object")
+        bad = [k for k in cls._REQUIRED if not isinstance(data.get(k), str)]
+        if bad or not data["scenario"]:
+            raise ValueError(f"sweep record missing required fields: "
+                             f"{bad or ['scenario']}")
+        if data.get("status", "ok") not in ("ok", "error"):
+            raise ValueError(f"sweep record has unknown status "
+                             f"{data.get('status')!r}")
+        for key, kind in (("summary", dict), ("error", str)):
+            if data.get(key) is not None and not isinstance(data[key], kind):
+                raise ValueError(f"sweep record field {key!r} has the "
+                                 f"wrong type")
+        elapsed = data.get("elapsed_s", 0.0)
+        if isinstance(elapsed, bool) or not isinstance(elapsed, (int, float)):
+            raise ValueError("sweep record field 'elapsed_s' has the "
+                             "wrong type")
+        if not isinstance(data.get("cached", False), bool):
+            raise ValueError("sweep record field 'cached' has the wrong type")
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__
+                      if k in data})
 
 
 def append_jsonl(path: str, records: Sequence[SweepRecord]) -> None:
@@ -49,13 +81,23 @@ def append_jsonl(path: str, records: Sequence[SweepRecord]) -> None:
 
 
 def load_jsonl(path: str) -> List[SweepRecord]:
-    """All records of the JSONL result store at ``path``."""
+    """All valid records of the JSONL result store at ``path``.
+
+    Corrupt or truncated lines (interrupted appends, partial writes) are
+    skipped with a warning rather than poisoning every consumer of the store
+    with half-parsed records.
+    """
     records: List[SweepRecord] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(SweepRecord.from_json(line))
+            except (ValueError, TypeError) as exc:
+                warnings.warn(f"{path}:{lineno}: skipping bad sweep record "
+                              f"({exc})", stacklevel=2)
     return records
 
 

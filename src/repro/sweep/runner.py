@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import render_table
 from ..dynamics import DynamicScenario, run_replay
+from ..ioutils import write_atomic
 from ..perf import fast_path_enabled, set_fast_path
 from ..pipeline import run_pipeline
 from ..scenarios import Scenario, get_scenario, list_scenarios
@@ -176,14 +177,16 @@ atexit.register(_shutdown_pool)
 
 
 def _warm_pool(processes: int) -> multiprocessing.pool.Pool:
-    """The shared pool, recreated only when more workers are needed.
+    """The shared pool, recreated when the worker count changes.
 
-    A larger pool serves a smaller task batch fine, and the effective worker
-    count (``min(jobs, len(todo))``) varies with cache state — shrinking
-    must not throw the warm workers away.
+    ``jobs`` is a concurrency *cap*, not a hint: reusing a larger warm pool
+    for a smaller request would run more pipelines at once than the caller
+    allowed (oversubscribing a memory-heavy batch).  Only an exact match
+    reuses the warm workers — repeated sweeps with stable parameters, the
+    case warmth pays off in, still hit it.
     """
     global _pool, _pool_processes
-    if _pool is not None and _pool_processes < processes:
+    if _pool is not None and _pool_processes != processes:
         _shutdown_pool()
     if _pool is None:
         _pool = multiprocessing.Pool(processes=processes)
@@ -263,6 +266,9 @@ def run_sweep(names: Optional[Sequence[str]] = None,
         if pattern:
             selected = [n for n in selected
                         if get_scenario(n).matches(pattern)]
+        # Duplicate names would run the scenario twice and append duplicate
+        # records to the result store; keep the first occurrence only.
+        selected = list(dict.fromkeys(selected))
     if not selected:
         raise ValueError("no scenarios selected "
                          f"(pattern={pattern!r}, names={names!r})")
@@ -288,7 +294,10 @@ def run_sweep(names: Optional[Sequence[str]] = None,
     if jobs == 1 or len(todo) <= 1:
         fresh = [_worker(args) for args in job_args]
     else:
-        processes = min(jobs, len(todo))
+        # Size by the requested cap alone: a pool never runs more tasks
+        # than are queued, and a todo-dependent size would tear the warm
+        # pool down whenever the cache state changes.
+        processes = jobs
         # Chunked dispatch amortises the per-task IPC round trips; four
         # chunks per worker keeps the tail balanced when scenario costs vary.
         chunksize = max(1, len(job_args) // (processes * 4))
@@ -305,9 +314,9 @@ def run_sweep(names: Optional[Sequence[str]] = None,
     for record in fresh:
         records[record.scenario] = record
         if record.ok:
-            with open(_path(record.scenario), "w",
-                      encoding="utf-8") as handle:
-                handle.write(record.to_json() + "\n")
+            # Atomic: a killed process must not leave a truncated cache entry.
+            write_atomic(_path(record.scenario), record.to_json() + "\n",
+                         suffix=".json")
 
     ordered = [records[name] for name in selected]
     out_path = out_path or os.path.join(cache_dir, "results.jsonl")

@@ -53,6 +53,24 @@ class TestTopologyMutation:
         with pytest.raises(ValueError):
             grid.set_link_latency(name, -1.0)
 
+    def test_set_hub_bandwidth_bumps_element_version(self, two_cluster):
+        # Regression: assigning node.bandwidth_mbps directly left the
+        # ("hub", name) version untouched, so probe memos kept serving
+        # measurements of the old capacity.
+        hub = next(n for n in two_cluster.nodes.values() if n.is_hub)
+        before = two_cluster.element_version(("hub", hub.name))
+        version = two_cluster.version
+        two_cluster.set_hub_bandwidth(hub.name, 5.0)
+        assert hub.bandwidth_mbps == 5.0
+        assert two_cluster.element_version(("hub", hub.name)) == before + 1
+        assert two_cluster.version == version + 1
+        with pytest.raises(ValueError):
+            two_cluster.set_hub_bandwidth(hub.name, 0.0)
+        router = next(n.name for n in two_cluster.nodes.values()
+                      if not n.is_hub)
+        with pytest.raises(ValueError, match="not a hub"):
+            two_cluster.set_hub_bandwidth(router, 10.0)
+
     def test_remove_and_restore_link(self, grid):
         # The grid backbone is redundant: removing one ring edge keeps paths.
         link = grid.remove_link("bb-r0c0--bb-r0c1")

@@ -108,6 +108,28 @@ class TestWriterParser:
             from_xml('<GRID><SITE domain="d"><MACHINE><LABEL name="m"/>'
                      '<PROPERTY name="x"/></MACHINE></SITE></GRID>')
 
+    def test_network_machine_reference_by_label_name(self):
+        doc = from_xml('<GRID><NETWORK type="Structural"><LABEL name="n"/>'
+                       '<MACHINE><LABEL name="via-label"/></MACHINE>'
+                       '<MACHINE name="via-attr"/>'
+                       '</NETWORK></GRID>')
+        assert doc.networks[0].machines == ["via-label", "via-attr"]
+
+    def test_machine_label_name_authoritative_over_attribute(self):
+        doc = from_xml('<GRID><SITE domain="d">'
+                       '<MACHINE name="attr"><LABEL name="label" '
+                       'ip="1.2.3.4"/></MACHINE></SITE></GRID>')
+        assert doc.sites[0].machines[0].name == "label"
+
+    def test_unnamed_network_machine_reference_raises(self):
+        # Regression: unnamed references used to be silently dropped (and an
+        # inner ``label`` Element shadowed the network's label string).
+        for machine in ('<MACHINE/>', '<MACHINE><LABEL ip="1.2.3.4"/>'
+                                      '</MACHINE>', '<MACHINE name=""/>'):
+            with pytest.raises(GridMLParseError, match="usable name"):
+                from_xml('<GRID><NETWORK type="Structural">'
+                         f'<LABEL name="n"/>{machine}</NETWORK></GRID>')
+
 
 class TestMerge:
     def make_sides(self):

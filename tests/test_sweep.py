@@ -76,6 +76,20 @@ class TestRunSweep:
         assert again.cache_hits == 0
         assert all(not r.cached for r in again.records)
 
+    def test_warm_pool_respects_lower_jobs_cap(self, tmp_path):
+        # Regression: reusing a larger warm pool for a smaller request ran
+        # more pipelines concurrently than the caller allowed.
+        from repro.sweep import runner
+        run_sweep(pattern=SMOKE, jobs=4, cache_dir=str(tmp_path / "a"))
+        assert runner._pool_processes == 4
+        warm = runner._pool
+        # Same cap, different todo count: the warm pool is reused.
+        run_sweep(names=["star-switch-12", "ring-4"], jobs=4,
+                  cache_dir=str(tmp_path / "a"))
+        assert runner._pool is warm
+        run_sweep(pattern=SMOKE, jobs=2, cache_dir=str(tmp_path / "b"))
+        assert runner._pool_processes == 2
+
     def test_parallel_sweep_over_full_catalog(self, tmp_path):
         names = scenario_names()
         assert len(names) >= 10
@@ -95,6 +109,16 @@ class TestRunSweep:
         result = run_sweep(names=["star-hub-8", "ring-4"], pattern="star",
                            jobs=1, cache_dir=str(tmp_path))
         assert [r.scenario for r in result.records] == ["star-hub-8"]
+
+    def test_duplicate_names_run_once(self, tmp_path):
+        # Regression: duplicates in ``names`` used to run the scenario twice
+        # and append duplicate records to the result store.
+        result = run_sweep(names=["star-hub-8", "campus-open", "star-hub-8"],
+                           jobs=1, cache_dir=str(tmp_path))
+        assert [r.scenario for r in result.records] == \
+            ["star-hub-8", "campus-open"]
+        stored = load_jsonl(result.out_path)
+        assert [r.scenario for r in stored] == ["star-hub-8", "campus-open"]
 
     def test_empty_selection_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="no scenarios"):
@@ -139,6 +163,37 @@ class TestRunSweep:
                          baselines=("subnet",))
         assert warm.cache_hits == 1
 
+    def test_truncated_cache_entry_is_rerun_and_repaired(self, tmp_path):
+        # Regression: a truncated/corrupt cache file (killed worker mid-write
+        # before writes were atomic) must be treated as a miss, not served as
+        # a half-parsed record.
+        run_sweep(names=["star-hub-8"], cache_dir=str(tmp_path))
+        path = cache_path(str(tmp_path), "star-hub-8")
+        with open(path, "r", encoding="utf-8") as handle:
+            full = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(full[:len(full) // 2])
+        again = run_sweep(names=["star-hub-8"], cache_dir=str(tmp_path))
+        assert again.cache_hits == 0 and again.errors == []
+        # The entry is rewritten whole; the next sweep hits it.
+        warm = run_sweep(names=["star-hub-8"], cache_dir=str(tmp_path))
+        assert warm.cache_hits == 1
+
+    def test_cache_writes_leave_no_temp_files(self, tmp_path):
+        run_sweep(pattern=SMOKE, jobs=1, cache_dir=str(tmp_path))
+        leftovers = [n for n in os.listdir(str(tmp_path))
+                     if n.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_cache_entries_have_umask_governed_permissions(self, tmp_path):
+        # mkstemp creates 0600 temp files; the atomic writer must restore
+        # normal permissions or a shared cache silently stops being shared.
+        run_sweep(names=["star-hub-8"], cache_dir=str(tmp_path))
+        path = cache_path(str(tmp_path), "star-hub-8")
+        umask = os.umask(0)
+        os.umask(umask)
+        assert os.stat(path).st_mode & 0o777 == 0o666 & ~umask
+
     def test_error_records_are_not_cached(self, tmp_path):
         @register_scenario("test-flaky", family="test-internal")
         def _flaky():
@@ -171,6 +226,48 @@ class TestResultStore:
         assert len(loaded) == 3
         assert loaded[0] == records[0]
         assert loaded[1].status == "error"
+
+    def test_from_json_rejects_missing_required_fields(self):
+        # Regression: records used to deserialise with scenario=None from
+        # corrupt store lines and poison summary_rows.
+        with pytest.raises(ValueError, match="required"):
+            SweepRecord.from_json('{"scenario": "a"}')
+        with pytest.raises(ValueError, match="required"):
+            SweepRecord.from_json(
+                '{"scenario": "", "family": "f", "scenario_hash": "h", '
+                '"code_version": "c"}')
+        with pytest.raises(ValueError, match="JSON object"):
+            SweepRecord.from_json('["not", "a", "record"]')
+        with pytest.raises(ValueError, match="status"):
+            SweepRecord.from_json(
+                '{"scenario": "a", "family": "f", "scenario_hash": "h", '
+                '"code_version": "c", "status": "weird"}')
+        # Optional fields fall back to dataclass defaults.
+        record = SweepRecord.from_json(
+            '{"scenario": "a", "family": "f", "scenario_hash": "h", '
+            '"code_version": "c"}')
+        assert record.ok and record.cached is False and record.summary is None
+
+    def test_load_jsonl_skips_corrupt_lines_with_warning(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        good = SweepRecord(scenario="a", family="f", scenario_hash="h",
+                           code_version="c", summary={"hosts": 3})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(good.to_json() + "\n")
+            handle.write('{"scenario": "trunca')        # interrupted append
+            handle.write("\n[1, 2]\n")                  # wrong shape
+            handle.write('{"scenario": null, "family": "f", '
+                         '"scenario_hash": "h", "code_version": "c"}\n')
+            handle.write('{"scenario": "x", "family": "f", '
+                         '"scenario_hash": "h", "code_version": "c", '
+                         '"summary": "oops"}\n')          # mistyped optional
+            handle.write('{"scenario": "y", "family": "f", '
+                         '"scenario_hash": "h", "code_version": "c", '
+                         '"elapsed_s": "fast"}\n')
+        with pytest.warns(UserWarning, match="skipping bad sweep record"):
+            loaded = load_jsonl(path)
+        assert loaded == [good]
+        assert [r["scenario"] for r in summary_rows(loaded)] == ["a"]
 
     def test_summary_rows_tolerate_missing_summary(self):
         rows = summary_rows([
