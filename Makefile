@@ -5,10 +5,10 @@ PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
 
-.PHONY: verify tier1 smoke-sweep smoke-sweep-fresh smoke-import sweep bench \
-	bench-smoke bench-check clean
+.PHONY: verify tier1 smoke-sweep smoke-sweep-fresh smoke-import smoke-serve \
+	sweep bench bench-smoke bench-check clean
 
-verify: tier1 smoke-sweep smoke-import
+verify: tier1 smoke-sweep smoke-import smoke-serve
 
 tier1:
 	$(PYTEST) -x -q
@@ -31,6 +31,13 @@ smoke-import:
 	$(REPRO) import tests/data/sample-aslinks.txt --sizes 8 10 12 --seed 7 \
 		--dynamic --epochs 3 --no-save --sweep --jobs 2 \
 		--cache-dir .sweep-cache
+
+# The serving layer: start `repro serve` on an ephemeral port as a real
+# subprocess and drive /healthz, /scenarios (ETag revalidation), one
+# POST /runs round-trip and /metrics.  Shares .sweep-cache with the smoke
+# sweep, so the pipeline run is normally a warm cache hit.
+smoke-serve:
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 
 # The full catalog; cached results are reused (use --rerun to force).
 sweep:

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Smoke-test ``repro serve`` end to end (the `make smoke-serve` gate).
+
+Starts the server as a real subprocess on an ephemeral port, then exercises
+the core loop a deployment depends on:
+
+1. ``GET /healthz`` answers ``ok``;
+2. ``GET /scenarios`` lists the catalog with an ``ETag`` that revalidates
+   (``304``);
+3. ``POST /runs`` for a smoke scenario completes and the run is visible in
+   ``GET /results/.../latest``;
+4. ``GET /metrics`` reports the served requests.
+
+Runs against the shared ``.sweep-cache`` by default (override with
+``SMOKE_CACHE_DIR``), so the pipeline run is usually a warm cache hit and
+the whole smoke stays fast.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+SCENARIO = os.environ.get("SMOKE_SCENARIO", "star-hub-8")
+CACHE_DIR = os.environ.get("SMOKE_CACHE_DIR", ".sweep-cache")
+STARTUP_TIMEOUT_S = 30.0
+JOB_TIMEOUT_S = 300.0
+
+
+def fail(message):
+    print(f"serve smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(base, path, data=None, headers=None):
+    req = urllib.request.Request(base + path, data=data,
+                                 headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _drain(stream, sink):
+    """Keep reading a child pipe so the server can never block on a full
+    pipe buffer (pool workers inherit these fds and may be chatty)."""
+    for line in stream:
+        sink.append(line)
+
+
+def main():
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--jobs", "2", "--cache-dir", CACHE_DIR],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    stderr_lines = []
+    threading.Thread(target=_drain, args=(server.stderr, stderr_lines),
+                     daemon=True).start()
+    try:
+        # The CLI announces "serving on http://host:port" once bound.  Read
+        # it through a helper thread so a server that hangs *before*
+        # announcing fails the smoke after STARTUP_TIMEOUT_S instead of
+        # blocking `make verify` until some outer timeout kills it blind.
+        announce = []
+        reader = threading.Thread(
+            target=lambda: announce.append(server.stdout.readline()),
+            daemon=True)
+        reader.start()
+        reader.join(STARTUP_TIMEOUT_S)
+        if reader.is_alive():
+            fail(f"server did not announce within {STARTUP_TIMEOUT_S:g}s")
+        line = announce[0] if announce else ""
+        if not line:
+            server.wait(timeout=5)
+            fail(f"server exited at startup: {''.join(stderr_lines)[-2000:]}")
+        match = re.search(r"http://([^:]+):(\d+)", line)
+        if not match:
+            fail(f"could not parse announce line: {line!r}")
+        # From here on, drain stdout too — nothing else is parsed from it.
+        threading.Thread(target=_drain, args=(server.stdout, []),
+                         daemon=True).start()
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        print(f"smoke: server up at {base}")
+
+        status, _, body = request(base, "/healthz")
+        if status != 200 or json.loads(body)["status"] != "ok":
+            fail(f"/healthz: {status} {body[:200]}")
+
+        status, headers, body = request(base, "/scenarios")
+        catalog = json.loads(body)
+        if status != 200 or catalog["count"] < 10:
+            fail(f"/scenarios: {status}, count={catalog.get('count')}")
+        if SCENARIO not in [s["name"] for s in catalog["scenarios"]]:
+            fail(f"scenario {SCENARIO} missing from the catalog")
+        etag = headers.get("ETag")
+        status, _, _ = request(base, "/scenarios",
+                               headers={"If-None-Match": etag})
+        if status != 304:
+            fail(f"ETag revalidation returned {status}, wanted 304")
+        print(f"smoke: catalog ok ({catalog['count']} scenarios, "
+              f"ETag revalidates)")
+
+        payload = json.dumps({"scenario": SCENARIO}).encode()
+        status, _, body = request(base, "/runs", data=payload)
+        if status != 202:
+            fail(f"POST /runs: {status} {body[:200]}")
+        job = json.loads(body)
+        deadline = time.monotonic() + JOB_TIMEOUT_S
+        while True:
+            status, _, body = request(base, f"/runs/{job['id']}")
+            state = json.loads(body)
+            if state["status"] not in ("queued", "running"):
+                break
+            if time.monotonic() > deadline:
+                fail(f"job {job['id']} did not finish in {JOB_TIMEOUT_S}s")
+            time.sleep(0.2)
+        if state["status"] != "ok":
+            fail(f"job finished {state['status']}: "
+                 f"{(state.get('error') or '')[:500]}")
+        print(f"smoke: run completed (cached={state['cached']})")
+
+        status, _, body = request(base, f"/results/{SCENARIO}/latest")
+        if status != 200 or json.loads(body)["scenario"] != SCENARIO:
+            fail(f"/results/{SCENARIO}/latest: {status} {body[:200]}")
+
+        status, _, body = request(base, "/metrics")
+        metrics = json.loads(body)
+        if status != 200 or metrics["requests"]["total"] < 5:
+            fail(f"/metrics: {status} {body[:300]}")
+        print("smoke: results + metrics ok — serve smoke PASSED")
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,10 @@ the NWS configuration, check its quality):
                   ``replay`` one churn schedule epoch by epoch, or ``run``
                   the whole dynamic family through the sweep engine;
 * ``profile``   — cProfile one scenario's pipeline run (or dynamic replay)
-                  and print the top cumulative hotspots.
+                  and print the top cumulative hotspots;
+* ``serve``     — the async results/scenario HTTP API (:mod:`repro.serve`):
+                  browse the catalog, query the indexed result store, and
+                  submit pipeline runs over HTTP.
 
 The platform of the single-run commands is either the paper's ENS-Lyon LAN
 (``--platform ens-lyon``, default) or a seeded synthetic constellation
@@ -46,6 +49,7 @@ from .ingest import (
     DEFAULT_SIZES,
     FORMATS,
     load_manifest,
+    load_recorded_imports,
     manifest_entries,
     record_import,
     register_imported,
@@ -56,6 +60,7 @@ from .netsim import SyntheticSpec, build_ens_lyon, generate_constellation
 from .nws import NWSClient, NWSSystem
 from .pipeline import BASELINE_PLANNERS, run_pipeline
 from .scenarios import list_scenarios
+from .serve import ReproApp, catalog_json, run_server
 from .sweep import DEFAULT_CACHE_DIR, records_json, run_sweep
 
 __all__ = ["main", "build_parser"]
@@ -159,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="substring filter on name/family/tags")
     p_scenarios.add_argument("--family", default=None,
                              help="exact family filter (e.g. 'imported')")
+    p_scenarios.add_argument("--format", choices=("table", "json"),
+                             default="table",
+                             help="output format; json matches the "
+                                  "GET /scenarios API schema "
+                                  "(default: table)")
 
     p_import = sub.add_parser(
         "import", help="ingest a topology file as 'imported' scenarios")
@@ -225,6 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
     d_list = dyn_sub.add_parser("list", help="list the dynamic scenarios")
     d_list.add_argument("--filter", default=None, metavar="PATTERN",
                         help="substring filter on name/family/tags")
+    d_list.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="output format; json matches the "
+                             "GET /scenarios API schema (default: table)")
 
     d_replay = dyn_sub.add_parser(
         "replay", help="replay one dynamic scenario epoch by epoch")
@@ -245,6 +259,29 @@ def build_parser() -> argparse.ArgumentParser:
     d_run = dyn_sub.add_parser(
         "run", help="sweep every dynamic scenario (cached, epoch-aware)")
     _add_sweep_arguments(d_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve the results/scenario HTTP API")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="TCP port; 0 binds an ephemeral one "
+                              "(default: 8765)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="worker processes of the shared run pool "
+                              "(default: 2)")
+    p_serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help=f"sweep cache / result store directory "
+                              f"(default: {DEFAULT_CACHE_DIR})")
+    p_serve.add_argument("--out", default=None, metavar="PATH",
+                         help="JSONL result store "
+                              "(default: <cache-dir>/results.jsonl)")
+    p_serve.add_argument("--queue-size", type=int, default=32,
+                         help="max pending jobs before POST /runs returns "
+                              "503 (default: 32)")
+    p_serve.add_argument("--job-timeout", type=float, default=600.0,
+                         metavar="SECONDS",
+                         help="per-job wall-clock timeout (default: 600)")
 
     p_profile = sub.add_parser(
         "profile", help="cProfile one scenario run and print the hotspots")
@@ -337,6 +374,12 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     scenarios = list_scenarios(args.filter, family=args.family)
+    if args.format == "json":
+        # The exact document GET /scenarios serves for the same filters —
+        # including the empty match, which stays a valid count-0 document
+        # (the exit status still signals it, as in table mode).
+        print(catalog_json(scenarios))
+        return 0 if scenarios else 1
     if not scenarios:
         wanted = args.filter if args.family is None else \
             f"{args.filter or ''} (family {args.family})".strip()
@@ -450,6 +493,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_dynamics(args: argparse.Namespace) -> int:
     if args.dynamics_command == "list":
         scenarios = list_dynamic_scenarios(args.filter)
+        if args.format == "json":
+            # Same schema as GET /scenarios, restricted to the dynamic
+            # family; an empty match is a valid count-0 document.
+            print(catalog_json(scenarios))
+            return 0 if scenarios else 1
         if not scenarios:
             print(f"no dynamic scenarios match {args.filter!r}")
             return 1
@@ -539,35 +587,44 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise ValueError("--jobs must be >= 1")
+    if args.queue_size < 1:
+        raise ValueError("--queue-size must be >= 1")
+    if args.job_timeout <= 0:
+        raise ValueError("--job-timeout must be positive")
+    app = ReproApp(cache_dir=args.cache_dir, store_path=args.out,
+                   pool_processes=args.jobs, job_timeout_s=args.job_timeout,
+                   queue_size=args.queue_size)
+
+    def announce(port: int) -> None:
+        # Machine-parseable: the smoke harness starts `--port 0` and reads
+        # the bound port off this line.
+        print(f"serving on http://{args.host}:{port}", flush=True)
+
+    run_server(app, host=args.host, port=args.port, announce=announce)
+    return 0
+
+
 def _load_recorded_imports(command: str) -> None:
     """Re-register manifest-recorded imported scenarios for this invocation.
 
     Makes ``repro import`` persistent across CLI processes: a later
-    ``repro scenarios --family imported`` / ``repro sweep`` sees the same
-    registrations (and identical content hashes, so the sweep cache keeps
-    working).  A non-default manifest written with ``--manifest PATH`` is
-    picked up via the ``REPRO_IMPORTS`` environment variable.  The
-    ``import`` command itself skips the reload — it is about to
-    (re-)register its own source with fresh knobs.
+    ``repro scenarios --family imported`` / ``repro sweep`` / ``repro
+    serve`` sees the same registrations (and identical content hashes, so
+    the sweep cache keeps working).  A non-default manifest written with
+    ``--manifest PATH`` is picked up via the ``REPRO_IMPORTS`` environment
+    variable.  The ``import`` command itself skips the reload — it is about
+    to (re-)register its own source with fresh knobs.
     """
-    if command not in ("scenarios", "sweep", "dynamics", "profile"):
+    if command not in ("scenarios", "sweep", "dynamics", "profile", "serve"):
         # Only registry-consuming commands reload (cheap — recorded digests
         # are trusted until build time — but pointless for commands that
         # never look at the registry); ``import`` handles its own manifest.
         return
-    manifest = os.environ.get("REPRO_IMPORTS", DEFAULT_MANIFEST)
-    if not os.path.exists(manifest):
-        return
-    import warnings
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        try:
-            load_manifest(manifest)
-        except (OSError, ValueError, TypeError) as exc:
-            print(f"warning: ignoring manifest {manifest}: {exc}",
-                  file=sys.stderr)
-    for entry in caught:
-        print(f"warning: {entry.message}", file=sys.stderr)
+    for message in load_recorded_imports():
+        print(f"warning: {message}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -584,6 +641,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "dynamics": _cmd_dynamics,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
     }
     _load_recorded_imports(args.command)
     try:

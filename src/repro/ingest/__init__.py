@@ -25,6 +25,7 @@ from .formats import (
     file_digest,
     load_topology,
     parse_aslinks,
+    parse_brite,
     parse_edge_list,
     parse_graphml,
     read_text,
@@ -32,6 +33,7 @@ from .formats import (
 from .manifest import (
     DEFAULT_MANIFEST,
     load_manifest,
+    load_recorded_imports,
     manifest_entries,
     record_import,
 )
@@ -47,7 +49,7 @@ from .scenarios import (
 
 __all__ = [
     "TopologyGraph", "TopologyParseError", "FORMATS",
-    "parse_edge_list", "parse_aslinks", "parse_graphml",
+    "parse_edge_list", "parse_aslinks", "parse_graphml", "parse_brite",
     "detect_format", "file_digest", "read_text", "load_topology",
     "SampleSpec", "sample_subgraph", "router_budget",
     "degree_tiers", "platform_from_graph", "import_platform",
@@ -55,4 +57,5 @@ __all__ = [
     "IMPORTED_FAMILY", "DEFAULT_SIZES", "imported_name",
     "register_imported", "register_imported_dynamic", "same_source",
     "DEFAULT_MANIFEST", "record_import", "load_manifest", "manifest_entries",
+    "load_recorded_imports",
 ]

@@ -18,6 +18,9 @@ Supported formats (``FORMATS``):
     whitespace- or comma-separated.
 ``graphml``
     GraphML XML (namespace-agnostic ``<node id>`` / ``<edge source target>``).
+``brite``
+    BRITE topology generator output (``Nodes:``/``Edges:`` sections); both
+    router- and AS-level single-plane topologies.
 ``gridml``
     GridML documents; these carry full platform structure and bypass the
     graph stage (see :func:`repro.ingest.bridge.platform_from_gridml`).
@@ -38,11 +41,11 @@ from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 __all__ = ["TopologyGraph", "TopologyParseError", "FORMATS",
            "parse_edge_list", "parse_aslinks", "parse_graphml",
-           "detect_format", "file_digest", "read_text", "load_topology",
-           "source_stem", "sanitise_name"]
+           "parse_brite", "detect_format", "file_digest", "read_text",
+           "load_topology", "source_stem", "sanitise_name"]
 
 #: Formats ``repro import`` understands.
-FORMATS: Tuple[str, ...] = ("aslinks", "edges", "graphml", "gridml")
+FORMATS: Tuple[str, ...] = ("aslinks", "brite", "edges", "graphml", "gridml")
 
 
 class TopologyParseError(ValueError):
@@ -199,17 +202,70 @@ def parse_graphml(text: str, name: str = "graphml") -> TopologyGraph:
     return TopologyGraph.from_edges(name, edges, extra_nodes=nodes)
 
 
+#: Section headers a BRITE file is made of (``Topology:`` opens the file,
+#: ``Nodes:``/``Edges:`` open the data sections; ``Model`` lines are
+#: metadata).
+_BRITE_SECTION = re.compile(r"^(Nodes|Edges)\s*:", re.IGNORECASE)
+
+
+def parse_brite(text: str, name: str = "brite") -> TopologyGraph:
+    """Parse BRITE topology-generator output.
+
+    BRITE files carry a ``Nodes: ( N )`` section (``NodeId x y inDegree
+    outDegree ASid type``) and an ``Edges: ( M )`` section (``EdgeId from
+    to length delay bandwidth ASfrom ASto type [direction]``).  Only the
+    structure is kept — nodes are named ``n<id>`` and edges connect them —
+    because the sampling/annotation stage re-derives link properties from
+    degree tiers, exactly as for the other graph formats.
+    """
+    section = None
+    nodes: List[str] = []
+    edges: List[Tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        header = _BRITE_SECTION.match(line)
+        if header:
+            section = header.group(1).lower()
+            continue
+        if section is None or line[0].isalpha():
+            # Preamble ("Topology:", "Model ..."), or a stray header.
+            continue
+        tokens = line.split()
+        if section == "nodes":
+            if not tokens[0].lstrip("-").isdigit():
+                raise TopologyParseError(
+                    f"{name}:{lineno}: BRITE node line must start with a "
+                    f"node id: {raw!r}")
+            nodes.append(f"n{tokens[0]}")
+        elif section == "edges":
+            if len(tokens) < 3 or not tokens[1].lstrip("-").isdigit() \
+                    or not tokens[2].lstrip("-").isdigit():
+                raise TopologyParseError(
+                    f"{name}:{lineno}: BRITE edge line needs numeric "
+                    f"endpoints: {raw!r}")
+            edges.append((f"n{tokens[1]}", f"n{tokens[2]}"))
+    if not nodes and not edges:
+        raise TopologyParseError(f"{name}: no BRITE Nodes:/Edges: sections "
+                                 "found")
+    if not edges:
+        raise TopologyParseError(f"{name}: BRITE file has no edges")
+    return TopologyGraph.from_edges(name, edges, extra_nodes=nodes)
+
+
 _PARSERS = {
     "edges": parse_edge_list,
     "aslinks": parse_aslinks,
     "graphml": parse_graphml,
+    "brite": parse_brite,
 }
 
 
 #: Archive/format suffixes stripped off a source file's basename when
 #: deriving graph and scenario names (``a/b.txt.gz`` → ``b``).
 _STEM_SUFFIXES = (".gz", ".txt", ".csv", ".edges", ".graphml", ".gridml",
-                  ".grid", ".xml")
+                  ".grid", ".xml", ".brite")
 
 
 def source_stem(path: str) -> str:
@@ -267,9 +323,16 @@ def detect_format(path: str, text: str = None) -> str:
         return "graphml"
     if ext in (".gridml", ".grid"):
         return "gridml"
+    if ext == ".brite":
+        return "brite"
     if text is None:
         text = _read_prefix(path)
     stripped = text.lstrip()
+    # BRITE output opens with "Topology: ( N Nodes, M Edges )" and carries
+    # Nodes:/Edges: section headers — unmistakable, check before the
+    # line-shape heuristics below.
+    if stripped.startswith("Topology:") or _BRITE_SECTION.match(stripped):
+        return "brite"
     if stripped.startswith("<"):
         # The GRID root may follow an XML declaration, long comment/license
         # headers and carry attributes — search the whole sniffed prefix.

@@ -35,9 +35,35 @@ from ..scenarios.registry import Scenario
 from .scenarios import register_imported, register_imported_dynamic, same_source
 
 __all__ = ["DEFAULT_MANIFEST", "record_import", "load_manifest",
-           "manifest_entries"]
+           "manifest_entries", "load_recorded_imports"]
 
 DEFAULT_MANIFEST = ".repro-imports.json"
+
+
+def load_recorded_imports(manifest_path: str = None) -> List[str]:
+    """Best-effort re-registration of the recorded imports; returns warnings.
+
+    The shared start-up path of every registry consumer (the CLI's
+    registry-reading commands *and* ``repro serve``, whose catalog endpoint
+    must show imported families): resolves the manifest from
+    ``$REPRO_IMPORTS`` when no path is given, silently does nothing when
+    none exists, and converts every failure — an unreadable manifest, a
+    skipped entry — into a returned warning string instead of an exception,
+    so a broken manifest degrades the catalog rather than the process.
+    """
+    manifest = manifest_path or os.environ.get("REPRO_IMPORTS",
+                                               DEFAULT_MANIFEST)
+    if not manifest or not os.path.exists(manifest):
+        return []
+    messages: List[str] = []
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        try:
+            load_manifest(manifest)
+        except (OSError, ValueError, TypeError) as exc:
+            messages.append(f"ignoring manifest {manifest}: {exc}")
+    messages.extend(str(entry.message) for entry in caught)
+    return messages
 
 
 def manifest_entries(manifest_path: str = DEFAULT_MANIFEST) -> List[Dict]:

@@ -19,11 +19,19 @@ Two small facilities shared by the whole engine:
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
 __all__ = ["COUNTERS", "PerfCounters", "reset_counters", "counters_snapshot",
            "fast_path_enabled", "set_fast_path", "fast_path"]
+
+#: Guards multi-field counter transitions (snapshot, reset, ``add``): a
+#: ``/metrics`` scrape concurrent with a reset must see all-before or
+#: all-after, never a half-zeroed mixture.  Hot loops still use bare
+#: ``COUNTERS.field += 1`` — a single attribute bump needs no cross-field
+#: consistency and must stay free of locking overhead.
+_COUNTER_LOCK = threading.Lock()
 
 
 class PerfCounters:
@@ -40,23 +48,40 @@ class PerfCounters:
         self.route_cache_misses = 0
 
     def snapshot(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        with _COUNTER_LOCK:
+            return {name: getattr(self, name) for name in self.__slots__}
+
+    def add(self, **deltas: int) -> None:
+        """Bump several counters atomically (multi-threaded writers).
+
+        Concurrent snapshots see either none or all of one call's deltas —
+        the cross-field invariant the bare ``+=`` hot-path increments cannot
+        give.
+        """
+        with _COUNTER_LOCK:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
 
-#: The process-wide counter instance (single-threaded hot loops).
+#: The process-wide counter instance.  The simulation hot loops increment it
+#: single-threadedly with bare ``+=``; other threads (the serving layer's
+#: ``/metrics``, job workers) must go through the locked
+#: :meth:`PerfCounters.snapshot` / :meth:`PerfCounters.add` /
+#: :func:`reset_counters`.
 COUNTERS = PerfCounters()
 
 _FAST_PATH = True
 
 
 def reset_counters() -> None:
-    """Zero every counter (benchmark harness hook)."""
-    for name in PerfCounters.__slots__:
-        setattr(COUNTERS, name, 0)
+    """Zero every counter atomically (benchmark harness hook)."""
+    with _COUNTER_LOCK:
+        for name in PerfCounters.__slots__:
+            setattr(COUNTERS, name, 0)
 
 
 def counters_snapshot() -> Dict[str, int]:
-    """A plain-dict copy of the current counter values."""
+    """A plain-dict copy of the current counter values (atomic)."""
     return COUNTERS.snapshot()
 
 

@@ -1,0 +1,77 @@
+"""``repro.serve`` — the async results/scenario API.
+
+A stdlib-only asyncio HTTP/JSON service over everything the repo computes:
+the scenario registry (:mod:`repro.scenarios` + imported families), the
+JSONL sweep result store (indexed for O(matches) queries by
+:mod:`repro.serve.store`), and pipeline execution (queued onto the shared
+sweep worker pool by :mod:`repro.serve.jobs`).
+
+Quick start::
+
+    $ repro serve --port 8765
+    $ curl localhost:8765/scenarios
+    $ curl localhost:8765/results?scenario=star-hub-8
+    $ curl -X POST localhost:8765/runs -d '{"scenario": "star-hub-8"}'
+
+See README.md, "Serving results".
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Tuple
+
+from .app import LRUCache, ReproApp
+from .catalog import catalog_etag, catalog_json, catalog_payload, \
+    scenario_record
+from .http import HTTPError, Request, Response, json_response, serve_http
+from .jobs import Job, JobQueue, QueueFull
+from .store import ResultStore, index_path
+
+__all__ = [
+    "ReproApp", "LRUCache",
+    "ResultStore", "index_path",
+    "Job", "JobQueue", "QueueFull",
+    "Request", "Response", "HTTPError", "json_response", "serve_http",
+    "scenario_record", "catalog_payload", "catalog_etag", "catalog_json",
+    "start_server", "run_server",
+]
+
+
+async def start_server(app: ReproApp, host: str = "127.0.0.1",
+                       port: int = 0) -> Tuple["asyncio.base_events.Server",
+                                               int]:
+    """Start ``app``'s background machinery and its HTTP listener.
+
+    Returns ``(server, bound_port)`` — with ``port=0`` the kernel picks an
+    ephemeral port.
+    """
+    app.start()
+    server = await serve_http(app.handle, host=host, port=port)
+    bound = server.sockets[0].getsockname()[1]
+    return server, bound
+
+
+def run_server(app: ReproApp, host: str = "127.0.0.1", port: int = 8765,
+               announce=None) -> None:
+    """Serve forever (the blocking CLI entry point; Ctrl-C stops cleanly).
+
+    ``announce`` is called once with the bound port — the CLI prints the
+    URL from it, and ``--port 0`` smoke harnesses parse that line to learn
+    the ephemeral port.
+    """
+    async def _main() -> None:
+        server, bound = await start_server(app, host=host, port=port)
+        if announce is not None:
+            announce(bound)
+        try:
+            await asyncio.Event().wait()        # serve until cancelled
+        finally:
+            server.close()
+            await server.wait_closed()
+            await app.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

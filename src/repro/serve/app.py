@@ -1,0 +1,417 @@
+"""The ``repro.serve`` HTTP/JSON API.
+
+Endpoints (all JSON):
+
+``GET /healthz``
+    Liveness: uptime, job-queue depth, store size.
+``GET /scenarios``
+    The scenario catalog (static + dynamic + imported families), same
+    schema as ``repro scenarios --format json``.  Filter with
+    ``?family=...`` / ``?filter=...``.  Carries a strong ``ETag`` over the
+    catalog content + code version; served from an in-process LRU.
+``GET /results``
+    Filtered/paginated store records: ``?scenario= &family= &status=
+    &scenario_hash= &code_version= &limit= &offset=`` plus ``?latest=1``
+    for the newest record per scenario.  Answered from the sidecar index —
+    no full-file parse.
+``GET /results/{scenario}/latest``
+    The newest stored record of one scenario, ``ETag:
+    "<scenario_hash>+<code_version>"``.
+``POST /runs``
+    Enqueue a pipeline run: body ``{"scenario": ..., "period_s"?: ...,
+    "baselines"?: [...], "rerun"?: bool}`` → ``202`` with the job record.
+``GET /runs`` / ``GET /runs/{id}`` / ``POST /runs/{id}/cancel``
+    Job listing, status polling, cancellation.
+``GET /metrics``
+    :mod:`repro.perf` hot-path counters plus request/response-cache/store
+    statistics.
+
+Conditional requests: a matching ``If-None-Match`` yields ``304`` without
+re-rendering.  Hash-addressed responses (catalog, latest-result) are cached
+in an in-process LRU keyed by content identity, so repeated hits never
+touch disk or re-serialise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import re
+import time
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .. import perf
+from ..pipeline import BASELINE_PLANNERS
+from ..scenarios.registry import get_scenario, list_scenarios
+from ..sweep.results import default_store_path
+from ..sweep.runner import DEFAULT_BASELINES, DEFAULT_CACHE_DIR
+from .catalog import catalog_etag, catalog_payload
+from .http import HTTPError, Request, Response, json_response
+from .jobs import JobQueue, QueueFull
+from .store import ResultStore
+
+__all__ = ["ReproApp", "LRUCache"]
+
+_RUN_ROUTE = re.compile(r"^/runs/([^/]+)(/cancel)?$")
+_LATEST_ROUTE = re.compile(r"^/results/([^/]+)/latest$")
+
+#: Most filtered result pages a single response will carry unless the
+#: client asks for fewer.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
+
+
+class LRUCache:
+    """A small thread-compatible LRU for rendered response bodies."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self._data: "OrderedDict[object, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: object) -> Optional[bytes]:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: object, value: bytes) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def _int_param(request: Request, name: str, default: int,
+               minimum: int = 0, maximum: Optional[int] = None) -> int:
+    raw = request.query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise HTTPError(400, f"query parameter {name!r} must be an integer")
+    if value < minimum or (maximum is not None and value > maximum):
+        raise HTTPError(400, f"query parameter {name!r} out of range")
+    return value
+
+
+def _record_payload(record) -> Dict[str, object]:
+    return {
+        "scenario": record.scenario,
+        "family": record.family,
+        "scenario_hash": record.scenario_hash,
+        "code_version": record.code_version,
+        "status": record.status,
+        "cached": record.cached,
+        "elapsed_s": record.elapsed_s,
+        "summary": record.summary,
+        "error": record.error,
+    }
+
+
+class ReproApp:
+    """Route table + shared state of one serving process."""
+
+    def __init__(self, cache_dir: str = DEFAULT_CACHE_DIR,
+                 store_path: Optional[str] = None,
+                 pool_processes: int = 2,
+                 job_timeout_s: float = 600.0,
+                 queue_size: int = 32,
+                 cache_capacity: int = 256) -> None:
+        self.cache_dir = cache_dir
+        self.store_path = store_path or default_store_path(cache_dir)
+        self.store = ResultStore(self.store_path)
+        self.jobs = JobQueue(cache_dir=cache_dir, out_path=self.store_path,
+                             pool_processes=pool_processes,
+                             timeout_s=job_timeout_s, maxsize=queue_size)
+        self.cache = LRUCache(cache_capacity)
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.responses_by_status: Dict[int, int] = {}
+
+    # -- plumbing -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background machinery (needs a running event loop)."""
+        self.jobs.start()
+
+    async def close(self) -> None:
+        await self.jobs.close()
+        self.store.close()
+
+    async def handle(self, request: Request) -> Response:
+        """Dispatch one request (the :func:`serve_http` handler)."""
+        self.requests_total += 1
+        try:
+            response = await self._route(request)
+        except HTTPError as exc:
+            response = json_response({"error": exc.message}, exc.status)
+        except Exception as exc:   # noqa: BLE001 — a failing handler must
+            # still be *counted*; the transport-level catch-all in
+            # serve/http.py would synthesize the 500 outside this
+            # accounting and /metrics would show no error signal.
+            response = json_response(
+                {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                500)
+        self.responses_by_status[response.status] = \
+            self.responses_by_status.get(response.status, 0) + 1
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        path, method = request.path.rstrip("/") or "/", request.method
+        if path == "/healthz":
+            return self._healthz(method)
+        if path == "/metrics":
+            return self._metrics(method)
+        if path == "/scenarios":
+            return self._scenarios(request, method)
+        if path == "/results":
+            return self._results(request, method)
+        match = _LATEST_ROUTE.match(path)
+        if match:
+            return self._latest(request, method, match.group(1))
+        if path == "/runs":
+            if method == "POST":
+                return self._submit_run(request)
+            return self._list_runs(method)
+        match = _RUN_ROUTE.match(path)
+        if match:
+            return self._run_detail(method, match.group(1),
+                                    cancel=bool(match.group(2)))
+        raise HTTPError(404, f"no such endpoint: {request.path}")
+
+    @staticmethod
+    def _require(method: str, *allowed: str) -> None:
+        if method not in allowed:
+            raise HTTPError(405, f"method {method} not allowed here")
+
+    def _conditional(self, request: Request, etag: str,
+                     render, cache_key: object) -> Response:
+        """ETag/LRU shared tail of the hash-addressed GET endpoints.
+
+        ``render`` is only called on an LRU miss; its body is cached under
+        ``(cache_key, etag)``, so repeated hits re-serialise nothing and
+        (for store-backed content) never touch disk.
+        """
+        if request.headers.get("if-none-match") == etag:
+            return Response(status=304, headers={"ETag": etag})
+        key = (cache_key, etag)
+        body = self.cache.get(key)
+        if body is None:
+            body = render()
+            self.cache.put(key, body)
+        return Response(status=200, body=body, headers={"ETag": etag})
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _healthz(self, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        return json_response({
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "jobs_pending": self.jobs.pending(),
+            "store_records": self.store.count(),
+        })
+
+    def _metrics(self, method: str) -> Response:
+        self._require(method, "GET")
+        return json_response({
+            "perf_counters": perf.counters_snapshot(),
+            "requests": {
+                "total": self.requests_total,
+                "by_status": {str(k): v for k, v in
+                              sorted(self.responses_by_status.items())},
+            },
+            "response_cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "entries": len(self.cache),
+            },
+            "store": dict(self.store.stats),
+            "jobs": {
+                "pending": self.jobs.pending(),
+                "completed": self.jobs.completed,
+                "tracked": len(self.jobs.jobs()),
+            },
+        })
+
+    def _scenarios(self, request: Request, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        pattern = request.query.get("filter")
+        family = request.query.get("family")
+        scenarios = list_scenarios(pattern, family=family)
+        etag = catalog_etag(scenarios)
+
+        def render() -> bytes:
+            return json_response(catalog_payload(scenarios)).body
+
+        return self._conditional(request, etag, render,
+                                 ("scenarios", pattern, family))
+
+    def _results(self, request: Request, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        limit = _int_param(request, "limit", DEFAULT_PAGE_LIMIT,
+                           minimum=1, maximum=MAX_PAGE_LIMIT)
+        offset = _int_param(request, "offset", 0)
+        filters = {key: request.query[key]
+                   for key in ("scenario", "family", "scenario_hash",
+                               "code_version", "status")
+                   if key in request.query}
+        unknown = [key for key in request.query
+                   if key not in ("scenario", "family", "scenario_hash",
+                                  "code_version", "status", "limit",
+                                  "offset", "latest", "order")]
+        if unknown:
+            raise HTTPError(400, f"unknown query parameters: {unknown}")
+        order = request.query.get("order", "asc")
+        if order not in ("asc", "desc"):
+            raise HTTPError(400, "query parameter 'order' must be "
+                                 "'asc' or 'desc'")
+        latest = request.query.get("latest", "") in ("1", "true", "yes")
+        query_key = ("results", tuple(sorted(filters.items())), limit,
+                     offset, latest, order)
+        # Index any fresh appends *before* deriving the tag, or the first
+        # query after an append would carry a pre-refresh tag its own
+        # response immediately invalidates.
+        self.store.refresh()
+        # The tag covers the query *and* the store state: a 304 must never
+        # leak across differently-filtered result pages.
+        etag = '"results-' + hashlib.sha256(
+            (repr(query_key) + self.store.state_token()).encode("utf-8")
+        ).hexdigest()[:20] + '"'
+
+        def render() -> bytes:
+            if latest:
+                if "scenario" in filters:
+                    # One indexed lookup — not a fetch of every scenario's
+                    # newest record just to keep one.
+                    record = self.store.latest(filters["scenario"],
+                                               status=filters.get("status"))
+                    records = [record] if record is not None else []
+                else:
+                    records = self.store.latest_per_scenario(
+                        family=filters.get("family"),
+                        status=filters.get("status"))
+                # The collapse pre-filters only on what its index path
+                # supports; honour the remaining accepted filters on the
+                # collapsed set rather than silently ignoring them.
+                for key in ("family", "scenario_hash", "code_version"):
+                    if key in filters:
+                        records = [r for r in records
+                                   if getattr(r, key) == filters[key]]
+                if order == "desc":
+                    records.reverse()
+                total = len(records)
+                records = records[offset:offset + limit]
+            else:
+                records, total = self.store.query(offset=offset, limit=limit,
+                                                  newest_first=order ==
+                                                  "desc", **filters)
+            return json_response({
+                "total": total,
+                "offset": offset,
+                "limit": limit,
+                "records": [_record_payload(r) for r in records],
+            }).body
+
+        return self._conditional(request, etag, render, query_key)
+
+    def _latest(self, request: Request, method: str,
+                scenario: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        # The tag derives from index metadata alone, so a 304 (or LRU hit)
+        # is answered without reading the store body — this is the endpoint
+        # clients poll.
+        entry = self.store.latest_entry(scenario)
+        if entry is None:
+            raise HTTPError(404, f"no stored results for scenario "
+                                 f"{scenario!r}")
+        etag = f'"{entry.scenario_hash}+{entry.code_version[:12]}"'
+
+        def render() -> bytes:
+            record = self.store.latest(scenario)
+            if record is None:           # store replaced under our feet
+                raise HTTPError(404, f"no stored results for scenario "
+                                     f"{scenario!r}")
+            return json_response(_record_payload(record)).body
+
+        # The store may gain a *new* record for the scenario while hash and
+        # code version stay identical (a rerun); fold the store state into
+        # the cache key, keeping the client-visible ETag purely
+        # hash-addressed.
+        return self._conditional(request, etag, render,
+                                 ("latest", scenario,
+                                  self.store.state_token()))
+
+    def _submit_run(self, request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(422, "request body must be a JSON object")
+        scenario = payload.get("scenario")
+        if not isinstance(scenario, str) or not scenario:
+            raise HTTPError(422, "field 'scenario' (string) is required")
+        try:
+            get_scenario(scenario)
+        except KeyError:
+            raise HTTPError(404, f"unknown scenario {scenario!r}")
+        period_s = payload.get("period_s", 60.0)
+        # json.loads accepts bare NaN/Infinity tokens; they must not leak
+        # into cache filenames, pipeline maths or (as invalid JSON) into
+        # every later response that echoes the job.
+        if isinstance(period_s, bool) or \
+                not isinstance(period_s, (int, float)) or \
+                not math.isfinite(period_s) or period_s <= 0:
+            raise HTTPError(422, "field 'period_s' must be a positive "
+                                 "finite number")
+        baselines = payload.get("baselines", list(DEFAULT_BASELINES))
+        if not isinstance(baselines, list) or \
+                not all(isinstance(b, str) for b in baselines):
+            raise HTTPError(422, "field 'baselines' must be a list of "
+                                 "planner names")
+        unknown = [b for b in baselines if b not in BASELINE_PLANNERS]
+        if unknown:
+            raise HTTPError(422, f"unknown baseline planners: {unknown}")
+        rerun = payload.get("rerun", False)
+        if not isinstance(rerun, bool):
+            raise HTTPError(422, "field 'rerun' must be a boolean")
+        extra = [k for k in payload if k not in ("scenario", "period_s",
+                                                 "baselines", "rerun")]
+        if extra:
+            raise HTTPError(422, f"unknown fields: {extra}")
+        try:
+            job = self.jobs.submit(scenario, period_s=float(period_s),
+                                   baselines=tuple(baselines), rerun=rerun)
+        except QueueFull as exc:
+            raise HTTPError(503, str(exc))
+        return json_response(job.as_payload(), status=202,
+                             headers={"Location": f"/runs/{job.id}"})
+
+    def _list_runs(self, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        return json_response({
+            "jobs": [job.as_payload() for job in self.jobs.jobs()],
+        })
+
+    def _run_detail(self, method: str, job_id: str, cancel: bool) -> Response:
+        if cancel:
+            self._require(method, "POST")
+            try:
+                job = self.jobs.cancel(job_id)
+            except KeyError:
+                raise HTTPError(404, f"unknown job {job_id!r}")
+            return json_response(job.as_payload())
+        self._require(method, "GET", "HEAD")
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HTTPError(404, f"unknown job {job_id!r}")
+        return json_response(job.as_payload())

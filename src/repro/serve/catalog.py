@@ -1,0 +1,68 @@
+"""Registry serialization shared by the HTTP catalog endpoint and the CLI.
+
+``GET /scenarios``, ``repro scenarios --format json`` and ``repro dynamics
+list --format json`` all emit the same schema, produced here — one place to
+evolve the wire format, and a guarantee that scripting against the CLI and
+against the server sees identical records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional, Sequence
+
+from ..dynamics.scenarios import DynamicScenario
+from ..scenarios.registry import Scenario
+from ..sweep.runner import code_version
+
+__all__ = ["scenario_record", "catalog_payload", "catalog_etag",
+           "catalog_json"]
+
+
+def scenario_record(scenario: Scenario) -> Dict[str, object]:
+    """One scenario as a flat JSON-compatible record."""
+    record: Dict[str, object] = {
+        "name": scenario.name,
+        "family": scenario.family,
+        "description": scenario.description,
+        "tags": list(scenario.tags),
+        "params": scenario.param_dict,
+        "content_hash": scenario.content_hash,
+        "dynamic": isinstance(scenario, DynamicScenario),
+    }
+    if isinstance(scenario, DynamicScenario):
+        record["base"] = scenario.base
+    return record
+
+
+def catalog_payload(scenarios: Sequence[Scenario]) -> Dict[str, object]:
+    """The full catalog document (scenarios sorted by name)."""
+    ordered = sorted(scenarios, key=lambda s: s.name)
+    return {
+        "schema": 1,
+        "code_version": code_version(),
+        "count": len(ordered),
+        "scenarios": [scenario_record(s) for s in ordered],
+    }
+
+
+def catalog_etag(scenarios: Sequence[Scenario]) -> str:
+    """A strong ETag over the catalog's content.
+
+    Covers every scenario's content hash plus the code version, so the tag
+    changes exactly when the catalog payload can — imports, re-imports and
+    code changes all roll it.
+    """
+    digest = hashlib.sha256()
+    for scenario in sorted(scenarios, key=lambda s: s.name):
+        digest.update(scenario.name.encode("utf-8"))
+        digest.update(scenario.content_hash.encode("utf-8"))
+    return f'"{digest.hexdigest()[:20]}+{code_version()[:12]}"'
+
+
+def catalog_json(scenarios: Sequence[Scenario], indent: Optional[int] = 2
+                 ) -> str:
+    """The catalog document as deterministic JSON text."""
+    return json.dumps(catalog_payload(scenarios), sort_keys=True,
+                      indent=indent)

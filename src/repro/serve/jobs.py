@@ -1,0 +1,268 @@
+"""Background pipeline execution for the serving layer.
+
+A bounded queue of *jobs* — one registered scenario each — dispatched onto
+the **shared** warm multiprocessing pool of :mod:`repro.sweep.runner`
+(:func:`~repro.sweep.runner.submit_scenario`; never a second pool), so an
+HTTP-submitted run and a CLI sweep compete for the same workers instead of
+oversubscribing the machine.
+
+Results flow through exactly the sweep engine's persistence
+(:func:`~repro.sweep.runner.store_record`): the per-scenario cache entry and
+the JSONL result store.  A run requested over HTTP is therefore a **cache
+hit** for a later ``repro sweep`` of the same scenario, and vice versa — a
+job whose scenario is already cached completes instantly without touching
+the pool.
+
+Lifecycle per job: ``queued`` → ``running`` → one of ``ok`` / ``error`` /
+``timeout`` / ``cancelled``.  Cancellation is immediate for queued jobs;
+a running job's pool task cannot be killed without poisoning the shared
+pool, so cancelling (or timing out) one only abandons the result (status
+``cancelled``/``timeout``, nothing persisted) while its dispatcher keeps
+draining the worker before dispatching new work — abandonment never
+over-commits the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..perf import COUNTERS
+from ..sweep.results import SweepRecord
+from ..sweep.runner import (
+    DEFAULT_BASELINES,
+    DEFAULT_CACHE_DIR,
+    load_cached_record,
+    store_record,
+    submit_scenario,
+)
+
+__all__ = ["Job", "JobQueue", "QueueFull"]
+
+#: How often a dispatcher polls its in-flight pool task.
+_POLL_INTERVAL_S = 0.05
+
+TERMINAL = ("ok", "error", "timeout", "cancelled")
+
+
+class QueueFull(Exception):
+    """The job queue is at capacity; retry later."""
+
+
+@dataclass
+class Job:
+    """One submitted pipeline run."""
+
+    id: str
+    scenario: str
+    period_s: float = 60.0
+    baselines: Tuple[str, ...] = DEFAULT_BASELINES
+    rerun: bool = False
+    status: str = "queued"
+    cached: bool = False
+    error: Optional[str] = None
+    record: Optional[SweepRecord] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL
+
+    def as_payload(self) -> Dict[str, object]:
+        """The job as a JSON-compatible API record."""
+        payload: Dict[str, object] = {
+            "id": self.id,
+            "scenario": self.scenario,
+            "status": self.status,
+            "cached": self.cached,
+            "period_s": self.period_s,
+            "baselines": list(self.baselines),
+            "rerun": self.rerun,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+        if self.record is not None:
+            payload["record"] = {
+                "scenario": self.record.scenario,
+                "status": self.record.status,
+                "scenario_hash": self.record.scenario_hash,
+                "code_version": self.record.code_version,
+                "elapsed_s": self.record.elapsed_s,
+                "summary": self.record.summary,
+            }
+        return payload
+
+
+class JobQueue:
+    """Bounded asyncio job queue over the shared sweep worker pool."""
+
+    def __init__(self, cache_dir: str = DEFAULT_CACHE_DIR,
+                 out_path: Optional[str] = None,
+                 pool_processes: int = 2,
+                 timeout_s: float = 600.0,
+                 maxsize: int = 32,
+                 keep_finished: int = 256) -> None:
+        self.cache_dir = cache_dir
+        self.out_path = out_path
+        self.pool_processes = max(1, pool_processes)
+        self.timeout_s = timeout_s
+        self.maxsize = maxsize
+        self.keep_finished = keep_finished
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "asyncio.Queue[str]" = asyncio.Queue()
+        self._ids = itertools.count(1)
+        self._dispatchers: List[asyncio.Task] = []
+        self.completed = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the dispatcher tasks (as many as the pool has workers —
+        the pool itself is the real concurrency limit)."""
+        if self._dispatchers:
+            return
+        for _ in range(self.pool_processes):
+            self._dispatchers.append(asyncio.ensure_future(self._dispatch()))
+
+    async def close(self) -> None:
+        """Cancel dispatchers; queued jobs are marked cancelled."""
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._dispatchers = []
+        for job in self._jobs.values():
+            if not job.done:
+                self._finish(job, "cancelled")
+
+    # -- submission / inspection --------------------------------------------
+
+    def pending(self) -> int:
+        return sum(1 for j in self._jobs.values() if not j.done)
+
+    def submit(self, scenario: str, period_s: float = 60.0,
+               baselines: Tuple[str, ...] = DEFAULT_BASELINES,
+               rerun: bool = False) -> Job:
+        """Enqueue one run; raises :class:`QueueFull` at capacity."""
+        if self.pending() >= self.maxsize:
+            raise QueueFull(f"job queue is full ({self.maxsize} pending)")
+        job = Job(id=f"job-{next(self._ids)}", scenario=scenario,
+                  period_s=float(period_s), baselines=tuple(baselines),
+                  rerun=bool(rerun))
+        self._jobs[job.id] = job
+        self._order.append(job.id)
+        self._queue.put_nowait(job.id)
+        self._trim()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every tracked job, submission order."""
+        return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediate while queued, best-effort while running
+        (the result is abandoned), a no-op once terminal."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        if not job.done:
+            self._finish(job, "cancelled")
+        return job
+
+    def _trim(self) -> None:
+        """Bound the finished-job history."""
+        while len(self._order) > self.keep_finished:
+            for index, job_id in enumerate(self._order):
+                if self._jobs[job_id].done:
+                    del self._jobs[job_id]
+                    del self._order[index]
+                    break
+            else:
+                return
+
+    def _finish(self, job: Job, status: str,
+                record: Optional[SweepRecord] = None,
+                error: Optional[str] = None) -> None:
+        job.status = status
+        job.record = record
+        job.error = error if error is not None else \
+            (record.error if record is not None else None)
+        job.finished_at = time.time()
+        self.completed += 1
+
+    # -- execution ----------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            job = self._jobs.get(job_id)
+            if job is None or job.done:     # cancelled (or trimmed) in queue
+                continue
+            try:
+                await self._run(job)
+            except asyncio.CancelledError:
+                if not job.done:
+                    self._finish(job, "cancelled")
+                raise
+            except Exception as exc:        # noqa: BLE001 — keep dispatching
+                self._finish(job, "error", error=f"{type(exc).__name__}: "
+                                                 f"{exc}")
+
+    async def _run(self, job: Job) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        if not job.rerun:
+            cached = load_cached_record(self.cache_dir, job.scenario,
+                                        period_s=job.period_s,
+                                        baselines=job.baselines)
+            if cached is not None:
+                cached.cached = True
+                job.cached = True
+                store_record(self.cache_dir, cached, period_s=job.period_s,
+                             baselines=job.baselines, out_path=self.out_path)
+                self._finish(job, "ok", record=cached)
+                return
+        # Dispatch onto the shared warm pool and poll without blocking the
+        # event loop; the worker itself never raises (error records).
+        async_result = submit_scenario(job.scenario, self.pool_processes,
+                                       period_s=job.period_s,
+                                       baselines=job.baselines)
+        deadline = time.monotonic() + self.timeout_s
+        while not async_result.ready():
+            # A timed-out or cancelled job surfaces immediately, but the
+            # pool task cannot be killed (terminating a worker would poison
+            # the shared pool) — so this dispatcher keeps draining it
+            # before taking the next job.  Otherwise abandoned tasks pile
+            # up in front of freshly dispatched ones, whose deadlines then
+            # expire before they ever run: a capacity leak behind a
+            # healthy-looking server.
+            if not job.done and time.monotonic() > deadline:
+                self._finish(job, "timeout",
+                             error=f"job exceeded {self.timeout_s:g}s; "
+                                   "the pool task is abandoned (its worker "
+                                   "drains before the next job dispatches)")
+            await asyncio.sleep(_POLL_INTERVAL_S)
+        if job.done:                        # timed out / cancelled: discard
+            return
+        record, counter_deltas = async_result.get()
+        # Pipeline work happened in a pool worker whose perf counters are
+        # invisible here; fold the deltas in (atomically) so /metrics in
+        # this process reflects the work its jobs caused.
+        COUNTERS.add(**counter_deltas)
+        store_record(self.cache_dir, record, period_s=job.period_s,
+                     baselines=job.baselines, out_path=self.out_path)
+        self._finish(job, "ok" if record.ok else "error", record=record)

@@ -1,0 +1,410 @@
+"""The indexed result store behind the serving layer.
+
+The JSONL result store (:mod:`repro.sweep.results`) is append-only and
+schema-light — perfect for sweeps, terrible for queries: answering
+"the latest record of scenario X" used to mean parsing *every* line of the
+file (:func:`~repro.sweep.results.load_jsonl` is O(store) per call).
+
+:class:`ResultStore` keeps a sidecar index next to the store
+(``results.jsonl`` → ``results.idx.json``) mapping each record's
+``(scenario, family, scenario_hash, code_version, status)`` to its byte
+offset and length, so filtered queries **seek** straight to the matching
+records and parse only those.  The index is:
+
+* **incremental** — it remembers how many store bytes it covers; new
+  appends are indexed by scanning only the tail.  In-process appends are
+  picked up immediately through the :func:`~repro.sweep.results.add_append_hook`
+  mechanism, cross-process appends on the next refresh.
+* **self-healing** — a missing, corrupt, stale or wrong-schema sidecar is
+  rebuilt transparently from the store; a store that shrank or was replaced
+  triggers a full rebuild.  The sidecar is advisory: deleting it costs one
+  rebuild, never correctness.
+* **crash-safe** — written via :func:`repro.ioutils.write_atomic`, so a
+  killed process can leave a *stale* index but never a torn one.  Concurrent
+  writers race benignly: last writer wins, and a lost update is repaired by
+  the next tail scan.
+
+Work accounting lives in :attr:`ResultStore.stats` (records parsed, bytes
+read, tail scans, full rebuilds, queries served) so benchmarks can assert
+that indexed queries really avoid full-file parses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ioutils import write_atomic
+from ..sweep.results import SweepRecord, add_append_hook, remove_append_hook
+
+__all__ = ["ResultStore", "IndexEntry", "index_path", "INDEX_SCHEMA"]
+
+INDEX_SCHEMA = 1
+
+#: Tail-indexed records accumulated before the sidecar is re-persisted.
+#: The sidecar write serialises *every* entry, so persisting per append
+#: would cost O(store²) over a store's lifetime; the index is advisory
+#: (anything unpersisted is re-derived by one tail scan), so batching
+#: loses nothing but a little warm-start work.
+PERSIST_EVERY = 64
+
+#: Metadata columns carried per index entry, in on-disk order (after the
+#: ``[offset, length]`` prefix).  Everything a filtered query needs without
+#: touching the store file.
+_FIELDS = ("scenario", "family", "scenario_hash", "code_version", "status")
+
+
+def index_path(store_path: str) -> str:
+    """The sidecar index path of a JSONL store (``results.jsonl`` →
+    ``results.idx.json``)."""
+    base = store_path[:-len(".jsonl")] if store_path.endswith(".jsonl") \
+        else store_path
+    return base + ".idx.json"
+
+
+class IndexEntry:
+    """One indexed record: byte span in the store plus its filter columns."""
+
+    __slots__ = ("offset", "length") + _FIELDS
+
+    def __init__(self, offset: int, length: int, scenario: str, family: str,
+                 scenario_hash: str, code_version: str, status: str) -> None:
+        self.offset = offset
+        self.length = length
+        self.scenario = scenario
+        self.family = family
+        self.scenario_hash = scenario_hash
+        self.code_version = code_version
+        self.status = status
+
+    def to_row(self) -> List[object]:
+        return [self.offset, self.length] + [getattr(self, f)
+                                             for f in _FIELDS]
+
+    @classmethod
+    def from_row(cls, row: Sequence[object]) -> "IndexEntry":
+        if (not isinstance(row, (list, tuple)) or len(row) != 2 + len(_FIELDS)
+                or not all(isinstance(v, int) and not isinstance(v, bool)
+                           for v in row[:2])
+                or not all(isinstance(v, str) for v in row[2:])):
+            raise ValueError(f"malformed index row: {row!r}")
+        return cls(*row)  # type: ignore[arg-type]
+
+    def matches(self, filters: Dict[str, str]) -> bool:
+        return all(getattr(self, key) == value
+                   for key, value in filters.items())
+
+
+class ResultStore:
+    """Indexed, query-friendly view of one JSONL result store.
+
+    Thread-safe: the serving layer refreshes/queries from the event loop
+    while job threads append through the store hook.
+    """
+
+    def __init__(self, path: str, persist_index: bool = True) -> None:
+        self.path = path
+        self.index_file = index_path(path)
+        self.persist_index = persist_index
+        self._entries: List[IndexEntry] = []
+        self._indexed_size = 0          # store bytes the index covers
+        self._loaded_sidecar = False
+        self._dirty = 0                 # entries indexed since last persist
+        self._lock = threading.RLock()
+        self.stats: Dict[str, int] = {
+            "queries": 0,
+            "records_parsed": 0,        # store lines json-parsed (any reason)
+            "records_served": 0,        # records returned to callers
+            "bytes_read": 0,            # store bytes read (scan + fetch)
+            "tail_scans": 0,
+            "full_rebuilds": 0,
+            "index_writes": 0,
+        }
+        # Keep the index hot across in-process appends (serve jobs, sweeps
+        # running inside the server process).
+        self._hook = self._on_append
+        add_append_hook(self._hook)
+
+    def close(self) -> None:
+        """Flush any unpersisted index state and detach the append-hook."""
+        remove_append_hook(self._hook)
+        self.flush()
+
+    def flush(self) -> None:
+        """Persist the sidecar now if batched updates are pending."""
+        with self._lock:
+            if self.persist_index and self._dirty:
+                self._write_sidecar()
+
+    # -- index maintenance --------------------------------------------------
+
+    def _on_append(self, path: str, records: Sequence[SweepRecord]) -> None:
+        if os.path.abspath(path) != os.path.abspath(self.path):
+            return
+        # Offsets of the appended batch are unknown here (another process
+        # may have interleaved its own batch); a tail scan from the indexed
+        # watermark is cheap and always right.
+        self.refresh()
+
+    def _store_size(self) -> int:
+        try:
+            return os.stat(self.path).st_size
+        except OSError:
+            return 0
+
+    def _load_sidecar(self) -> None:
+        """Adopt the persisted index if it is valid for the current store."""
+        self._loaded_sidecar = True
+        try:
+            with open(self.index_file, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if (not isinstance(data, dict)
+                    or data.get("schema") != INDEX_SCHEMA
+                    or not isinstance(data.get("store_size"), int)
+                    or not isinstance(data.get("entries"), list)):
+                raise ValueError("not a result-store index")
+            entries = [IndexEntry.from_row(row) for row in data["entries"]]
+            size = data["store_size"]
+        except (OSError, ValueError, TypeError, json.JSONDecodeError):
+            return                       # absent/corrupt: rebuild from store
+        if size > self._store_size():
+            return                       # store shrank/replaced: rebuild
+        # Entries must lie inside the covered span, or the sidecar lies.
+        if any(e.offset + e.length > size for e in entries):
+            return
+        self._entries = entries
+        self._indexed_size = size
+
+    def _scan(self, start: int) -> None:
+        """Index every complete record line in ``path[start:]``.
+
+        Corrupt/invalid lines are skipped (they stay invisible to queries,
+        exactly as :func:`load_jsonl` skips them).  A partial trailing line
+        (a torn concurrent append) is left un-indexed *and* uncovered, so
+        the next refresh re-examines it once the writer finished.
+        """
+        size = self._store_size()
+        if size <= start:
+            if size < start:             # store shrank/replaced: start over
+                self._entries = []
+                self._indexed_size = 0
+                if size:
+                    self._scan(0)
+                else:
+                    self.stats["full_rebuilds"] += 1
+            return
+        self.stats["tail_scans" if start else "full_rebuilds"] += 1
+        covered = start
+        new_entries: List[IndexEntry] = []
+        with open(self.path, "rb") as handle:
+            handle.seek(start)
+            blob = handle.read(size - start)
+        self.stats["bytes_read"] += len(blob)
+        offset = start
+        for raw in blob.split(b"\n"):
+            line_end = offset + len(raw) + 1
+            if line_end > size + 1 or (line_end == size + 1
+                                       and not blob.endswith(b"\n")):
+                break                    # partial trailing line: not covered
+            stripped = raw.strip()
+            if stripped:
+                entry = self._index_line(stripped, offset, len(raw) + 1)
+                if entry is not None:
+                    new_entries.append(entry)
+            covered = min(line_end, size)
+            offset = line_end
+        self._entries.extend(new_entries)
+        self._indexed_size = covered
+        self._dirty += len(new_entries)
+        # Full (re)builds persist immediately — they are rare and the whole
+        # point of the sidecar; steady-state tail updates batch up.
+        if self.persist_index and (start == 0 or
+                                   self._dirty >= PERSIST_EVERY):
+            self._write_sidecar()
+
+    def _index_line(self, line: bytes, offset: int,
+                    length: int) -> Optional[IndexEntry]:
+        try:
+            record = SweepRecord.from_json(line.decode("utf-8"))
+        except (ValueError, TypeError, UnicodeDecodeError):
+            return None
+        finally:
+            self.stats["records_parsed"] += 1
+        return IndexEntry(offset, length, record.scenario, record.family,
+                          record.scenario_hash, record.code_version,
+                          record.status)
+
+    def _write_sidecar(self) -> None:
+        payload = json.dumps(
+            {"schema": INDEX_SCHEMA, "store_size": self._indexed_size,
+             "entries": [e.to_row() for e in self._entries]},
+            separators=(",", ":")) + "\n"
+        write_atomic(self.index_file, payload, suffix=".json")
+        self._dirty = 0
+        self.stats["index_writes"] += 1
+
+    def refresh(self) -> None:
+        """Bring the index up to date with the store file (cheap when it
+        already is)."""
+        with self._lock:
+            if not self._loaded_sidecar:
+                self._load_sidecar()
+            size = self._store_size()
+            if size != self._indexed_size:
+                self._scan(self._indexed_size)
+
+    def _rebuild(self) -> None:
+        """Drop the index and reindex the whole store from scratch."""
+        with self._lock:
+            self._entries = []
+            self._indexed_size = 0
+            self._scan(0)
+
+    def _recovering(self, fn):
+        """Run a query, rebuilding once if its entries point at garbage.
+
+        Size checks catch a *shrunken* replaced store; an out-of-band
+        replacement with same-or-larger size can leave entries whose byte
+        spans no longer frame whole records, which surfaces as a parse
+        error in :meth:`_fetch`.  One full rebuild restores the invariant.
+        """
+        try:
+            return fn()
+        except (ValueError, UnicodeDecodeError):
+            self._rebuild()
+            return fn()
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def indexed_size(self) -> int:
+        return self._indexed_size
+
+    def state_token(self) -> str:
+        """A token that changes whenever query results may change (cache
+        key component for response caches)."""
+        with self._lock:
+            return f"{self._indexed_size}-{len(self._entries)}"
+
+    def count(self) -> int:
+        self.refresh()
+        with self._lock:
+            return len(self._entries)
+
+    def _fetch(self, entries: Sequence[IndexEntry]) -> List[SweepRecord]:
+        """Seek-and-parse exactly the given records."""
+        records: List[SweepRecord] = []
+        if not entries:
+            return records
+        with open(self.path, "rb") as handle:
+            for entry in entries:
+                handle.seek(entry.offset)
+                blob = handle.read(entry.length)
+                self.stats["bytes_read"] += len(blob)
+                self.stats["records_parsed"] += 1
+                records.append(SweepRecord.from_json(blob.decode("utf-8")))
+        self.stats["records_served"] += len(records)
+        return records
+
+    @staticmethod
+    def _filters(scenario: Optional[str] = None, family: Optional[str] = None,
+                 scenario_hash: Optional[str] = None,
+                 code_version: Optional[str] = None,
+                 status: Optional[str] = None) -> Dict[str, str]:
+        raw = {"scenario": scenario, "family": family,
+               "scenario_hash": scenario_hash, "code_version": code_version,
+               "status": status}
+        return {key: value for key, value in raw.items() if value is not None}
+
+    def query(self, scenario: Optional[str] = None,
+              family: Optional[str] = None,
+              scenario_hash: Optional[str] = None,
+              code_version: Optional[str] = None,
+              status: Optional[str] = None,
+              offset: int = 0,
+              limit: Optional[int] = None,
+              newest_first: bool = False,
+              ) -> Tuple[List[SweepRecord], int]:
+        """Filtered, paginated records in append order (``newest_first``
+        flips it, so page 0 holds the most recent appends — the shape a
+        poller wants).
+
+        Returns ``(records, total)`` where ``total`` counts every match
+        before pagination.  Only the returned page is read from disk.
+        """
+        if offset < 0 or (limit is not None and limit < 0):
+            raise ValueError("offset/limit must be non-negative")
+        filters = self._filters(scenario, family, scenario_hash,
+                                code_version, status)
+
+        def run() -> Tuple[List[SweepRecord], int]:
+            self.refresh()
+            with self._lock:
+                self.stats["queries"] += 1
+                matches = [e for e in self._entries if e.matches(filters)]
+                if newest_first:
+                    matches.reverse()
+                total = len(matches)
+                page = matches[offset:
+                               None if limit is None else offset + limit]
+                return self._fetch(page), total
+
+        return self._recovering(run)
+
+    def latest_entry(self, scenario: str,
+                     status: Optional[str] = None) -> Optional[IndexEntry]:
+        """Index metadata of the newest record of ``scenario`` — existence,
+        hash and code version without reading the store body (conditional
+        requests answer from this alone)."""
+        self.refresh()
+        with self._lock:
+            self.stats["queries"] += 1
+            for entry in reversed(self._entries):
+                if entry.scenario == scenario and \
+                        (status is None or entry.status == status):
+                    return entry
+        return None
+
+    def latest(self, scenario: str,
+               status: Optional[str] = None) -> Optional[SweepRecord]:
+        """The most recently appended record of ``scenario`` (or ``None``)."""
+        def run() -> Optional[SweepRecord]:
+            self.refresh()
+            with self._lock:
+                self.stats["queries"] += 1
+                for entry in reversed(self._entries):
+                    if entry.scenario == scenario and \
+                            (status is None or entry.status == status):
+                        return self._fetch([entry])[0]
+            return None
+
+        return self._recovering(run)
+
+    def latest_per_scenario(self,
+                            family: Optional[str] = None,
+                            status: Optional[str] = None,
+                            ) -> List[SweepRecord]:
+        """The newest record of every scenario (optionally filtered),
+        sorted by scenario name."""
+        filters = self._filters(family=family, status=status)
+
+        def run() -> List[SweepRecord]:
+            self.refresh()
+            with self._lock:
+                self.stats["queries"] += 1
+                newest: Dict[str, IndexEntry] = {}
+                for entry in self._entries:
+                    if entry.matches(filters):
+                        newest[entry.scenario] = entry
+                ordered = [newest[name] for name in sorted(newest)]
+                return self._fetch(ordered)
+
+        return self._recovering(run)
+
+    def scenarios_seen(self) -> List[str]:
+        """Every scenario name with at least one stored record, sorted."""
+        self.refresh()
+        with self._lock:
+            return sorted({e.scenario for e in self._entries})

@@ -2,9 +2,12 @@
 
 from .results import (
     SweepRecord,
+    add_append_hook,
     append_jsonl,
+    default_store_path,
     load_jsonl,
     records_json,
+    remove_append_hook,
     summary_rows,
 )
 from .runner import (
@@ -13,14 +16,19 @@ from .runner import (
     SweepResult,
     cache_path,
     code_version,
+    load_cached_record,
     run_scenario,
     run_sweep,
+    store_record,
+    submit_scenario,
 )
 
 __all__ = [
     "SweepRecord", "append_jsonl", "load_jsonl", "summary_rows",
-    "records_json",
+    "records_json", "default_store_path", "add_append_hook",
+    "remove_append_hook",
     "SweepResult", "run_sweep", "run_scenario",
     "cache_path", "code_version",
+    "load_cached_record", "store_record", "submit_scenario",
     "DEFAULT_CACHE_DIR", "DEFAULT_BASELINES",
 ]

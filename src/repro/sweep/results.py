@@ -6,10 +6,11 @@ import json
 import os
 import warnings
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 __all__ = ["SweepRecord", "append_jsonl", "load_jsonl", "summary_rows",
-           "records_json"]
+           "records_json", "default_store_path", "add_append_hook",
+           "remove_append_hook"]
 
 
 @dataclass
@@ -71,13 +72,51 @@ class SweepRecord:
                       if k in data})
 
 
+def default_store_path(cache_dir: str) -> str:
+    """The JSONL result store a cache directory's sweeps append to."""
+    return os.path.join(cache_dir, "results.jsonl")
+
+
+#: Callbacks invoked after every successful :func:`append_jsonl`, with the
+#: store path and the records just appended.  The serving layer's result
+#: index registers here so in-process appends (HTTP-submitted runs, sweeps)
+#: extend the index without waiting for the next on-demand refresh.
+_APPEND_HOOKS: List[Callable[[str, Sequence[SweepRecord]], None]] = []
+
+
+def add_append_hook(hook: Callable[[str, Sequence[SweepRecord]], None]) -> None:
+    """Register a post-append callback (idempotent)."""
+    if hook not in _APPEND_HOOKS:
+        _APPEND_HOOKS.append(hook)
+
+
+def remove_append_hook(hook: Callable[[str, Sequence[SweepRecord]], None]
+                       ) -> None:
+    """Drop a previously registered post-append callback if present."""
+    try:
+        _APPEND_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
 def append_jsonl(path: str, records: Sequence[SweepRecord]) -> None:
-    """Append ``records`` to the JSONL result store at ``path``."""
+    """Append ``records`` to the JSONL result store at ``path``.
+
+    The whole batch goes down in one unbuffered ``O_APPEND`` write, so two
+    processes appending to the same store concurrently (a sweep CLI and a
+    running ``repro serve``) can interleave only at record boundaries —
+    never inside a line.
+    """
+    if not records:
+        return
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(record.to_json() + "\n")
+    payload = "".join(record.to_json() + "\n"
+                      for record in records).encode("utf-8")
+    with open(path, "ab", buffering=0) as handle:
+        handle.write(payload)
+    for hook in list(_APPEND_HOOKS):
+        hook(path, records)
 
 
 def load_jsonl(path: str) -> List[SweepRecord]:

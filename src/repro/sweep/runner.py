@@ -33,13 +33,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis import render_table
 from ..dynamics import DynamicScenario, run_replay
 from ..ioutils import write_atomic
-from ..perf import fast_path_enabled, set_fast_path
+from ..perf import counters_snapshot, fast_path_enabled, set_fast_path
 from ..pipeline import run_pipeline
 from ..scenarios import Scenario, get_scenario, list_scenarios
-from .results import SweepRecord, append_jsonl, summary_rows
+from .results import (
+    SweepRecord,
+    append_jsonl,
+    default_store_path,
+    summary_rows,
+)
 
 __all__ = ["SweepResult", "code_version", "cache_path", "run_scenario",
-           "run_sweep", "DEFAULT_CACHE_DIR", "DEFAULT_BASELINES"]
+           "run_sweep", "load_cached_record", "store_record",
+           "submit_scenario", "DEFAULT_CACHE_DIR", "DEFAULT_BASELINES"]
 
 DEFAULT_CACHE_DIR = ".sweep-cache"
 #: Baselines evaluated per scenario; a subset of the CLI ``quality`` set to
@@ -154,6 +160,22 @@ def _worker(args: Tuple[Scenario, float, Tuple[str, ...], bool]) -> SweepRecord:
     return run_scenario(scenario, period_s=period_s, baselines=baselines)
 
 
+def _worker_with_counters(args: Tuple[Scenario, float, Tuple[str, ...], bool]
+                          ) -> Tuple[SweepRecord, Dict[str, int]]:
+    """Like :func:`_worker`, but also ships the task's perf-counter deltas.
+
+    ``repro.perf.COUNTERS`` is per-process, so pipeline work done in a pool
+    worker is invisible to the submitting process; the serving layer folds
+    these deltas back in so its ``/metrics`` endpoint reflects the work its
+    jobs actually caused.  A pool worker runs one task at a time, so the
+    before/after difference is exactly this task's work.
+    """
+    before = counters_snapshot()
+    record = _worker(args)
+    after = counters_snapshot()
+    return record, {name: after[name] - before[name] for name in after}
+
+
 # -- persistent warm worker pool ---------------------------------------------
 # Spawning a fresh multiprocessing pool per sweep re-pays interpreter start-up
 # and module import for every call; repeated sweeps (the CLI's dynamics run
@@ -228,6 +250,62 @@ def _load_cached(path: str) -> Optional[SweepRecord]:
         return None
     # A cached failure is not worth keeping: re-run the scenario.
     return record if record.ok else None
+
+
+def load_cached_record(cache_dir: str, scenario_name: str,
+                       period_s: float = 60.0,
+                       baselines: Sequence[str] = DEFAULT_BASELINES,
+                       ) -> Optional[SweepRecord]:
+    """The cached record of one scenario, or ``None`` on a miss.
+
+    The public face of the sweep cache for other consumers (the serving
+    layer's job queue checks it before dispatching pipeline work); corrupt
+    entries and cached failures count as misses, exactly as in
+    :func:`run_sweep`.
+    """
+    return _load_cached(cache_path(cache_dir, scenario_name,
+                                   period_s=period_s, baselines=baselines))
+
+
+def store_record(cache_dir: str, record: SweepRecord,
+                 period_s: float = 60.0,
+                 baselines: Sequence[str] = DEFAULT_BASELINES,
+                 out_path: Optional[str] = None) -> str:
+    """Persist one freshly run record the way :func:`run_sweep` does.
+
+    Successful records land in the per-scenario cache (atomically, so a
+    later sweep of the same scenario is a cache hit) and every record is
+    appended to the JSONL result store.  Returns the store path.
+    """
+    if record.ok and not record.cached:
+        os.makedirs(cache_dir, exist_ok=True)
+        write_atomic(cache_path(cache_dir, record.scenario, period_s=period_s,
+                                baselines=baselines),
+                     record.to_json() + "\n", suffix=".json")
+    out_path = out_path or default_store_path(cache_dir)
+    append_jsonl(out_path, [record])
+    return out_path
+
+
+def submit_scenario(scenario_name: str, processes: int,
+                    period_s: float = 60.0,
+                    baselines: Sequence[str] = DEFAULT_BASELINES,
+                    ) -> "multiprocessing.pool.AsyncResult":
+    """Dispatch one scenario run onto the shared warm pool, asynchronously.
+
+    Used by the serving layer (:mod:`repro.serve.jobs`): HTTP-submitted runs
+    execute in the *same* warm worker pool the sweep engine uses — one pool
+    per process, never a second one — and the caller polls the returned
+    :class:`~multiprocessing.pool.AsyncResult` without blocking an event
+    loop.  The worker never raises; failures come back as error records.
+    The async result yields ``(record, perf-counter deltas)`` so the caller
+    can account the worker's pipeline work in its own process.
+    """
+    scenario = get_scenario(scenario_name)
+    pool = _warm_pool(max(1, processes))
+    return pool.apply_async(
+        _worker_with_counters, ((scenario, period_s, tuple(baselines),
+                                 fast_path_enabled()),))
 
 
 def run_sweep(names: Optional[Sequence[str]] = None,
@@ -319,7 +397,7 @@ def run_sweep(names: Optional[Sequence[str]] = None,
                          suffix=".json")
 
     ordered = [records[name] for name in selected]
-    out_path = out_path or os.path.join(cache_dir, "results.jsonl")
+    out_path = out_path or default_store_path(cache_dir)
     append_jsonl(out_path, ordered)
     return SweepResult(records=ordered, out_path=out_path,
                        elapsed_s=time.perf_counter() - start)

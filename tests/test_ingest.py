@@ -24,6 +24,7 @@ from repro.ingest import (
     load_manifest,
     load_topology,
     parse_aslinks,
+    parse_brite,
     parse_edge_list,
     parse_graphml,
     platform_from_gridml,
@@ -41,6 +42,8 @@ FIXTURE_ASLINKS = os.path.join(os.path.dirname(__file__), "data",
                                "sample-aslinks.txt")
 FIXTURE_GRAPHML = os.path.join(os.path.dirname(__file__), "data",
                                "campus.graphml")
+FIXTURE_BRITE = os.path.join(os.path.dirname(__file__), "data",
+                             "sample.brite")
 
 
 class TestParsers:
@@ -129,6 +132,43 @@ class TestParsers:
         path.write_text("<GRID></GRID>")
         with pytest.raises(ValueError, match="platform_from_gridml"):
             load_topology(str(path))
+
+    def test_brite_nodes_and_edges_sections(self):
+        text = ("Topology: ( 3 Nodes, 2 Edges )\n"
+                "Model (1 - RTWaxman):  3 100 100 1 2 0.15 0.2 1 1 10.0\n"
+                "\n"
+                "Nodes: ( 3 )\n"
+                "0\t12.0\t80.0\t2\t2\t-1\tRT_NODE\n"
+                "1\t44.0\t15.0\t1\t1\t-1\tRT_NODE\n"
+                "2\t90.0\t62.0\t1\t1\t-1\tRT_NODE\n"
+                "\n"
+                "Edges: ( 2 )\n"
+                "0\t0\t1\t33.0\t0.11\t512.0\t-1\t-1\tE_RT\tU\n"
+                "1\t0\t2\t81.0\t0.27\t155.0\t-1\t-1\tE_RT\tU\n")
+        graph = parse_brite(text)
+        assert graph.nodes == ("n0", "n1", "n2")
+        assert graph.edges == (("n0", "n1"), ("n0", "n2"))
+
+    def test_brite_rejects_malformed_sections(self):
+        with pytest.raises(TopologyParseError, match="Nodes:/Edges:"):
+            parse_brite("a b\nb c\n")
+        with pytest.raises(TopologyParseError, match="no edges"):
+            parse_brite("Nodes: ( 1 )\n0 1.0 2.0 0 0 -1 RT_NODE\n")
+        with pytest.raises(TopologyParseError, match="node id"):
+            parse_brite("Nodes: ( 1 )\n# 1.0\n")
+        with pytest.raises(TopologyParseError, match="numeric endpoints"):
+            parse_brite("Edges: ( 1 )\n0 zero one\n")
+
+    def test_brite_fixture_loads_and_detects(self, tmp_path):
+        assert detect_format(FIXTURE_BRITE) == "brite"
+        graph, digest, fmt = load_topology(FIXTURE_BRITE)
+        assert fmt == "brite"
+        assert len(graph.nodes) == 14 and len(graph.edges) == 21
+        assert digest == file_digest(FIXTURE_BRITE)
+        # Content sniffing works without the extension too.
+        renamed = tmp_path / "mystery.dat"
+        renamed.write_text(open(FIXTURE_BRITE, encoding="utf-8").read())
+        assert detect_format(str(renamed)) == "brite"
 
     def test_largest_component(self):
         graph = TopologyGraph.from_edges(
@@ -755,3 +795,67 @@ class TestImportCLI:
         out = capsys.readouterr().out
         assert "imported-sample-aslinks-h8" in out
         assert "ens-lyon" not in out
+
+
+class TestBriteImport:
+    def test_brite_registers_builds_and_pipelines(self):
+        scenarios = register_imported(FIXTURE_BRITE, sizes=(8,), seed=3)
+        assert [s.name for s in scenarios] == ["imported-sample-h8"]
+        assert scenarios[0].param_dict["format"] == "brite"
+        platform = scenarios[0].build()
+        assert len(platform.host_names()) == 8
+        result = run_pipeline(platform, baselines=())
+        assert result.env_report.completeness > 0.0
+
+    def test_brite_cli_import_detects_format(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["import", FIXTURE_BRITE, "--sizes", "8",
+                     "--no-save"]) == 0
+        out = capsys.readouterr().out
+        assert "imported-sample-h8" in out
+        assert "brite topology sample.brite" in out
+
+
+class TestConcurrentManifestWriters:
+    def test_parallel_record_import_never_corrupts_manifest(self, tmp_path,
+                                                            monkeypatch):
+        # Two processes recording imports into the same REPRO_IMPORTS-
+        # relocated manifest concurrently: the atomic replace means the
+        # file always parses; a racing writer can lose the other's entry
+        # (last writer wins) but never produce garbage.
+        manifest = str(tmp_path / "shared-imports.json")
+        monkeypatch.setenv("REPRO_IMPORTS", manifest)
+        sources = []
+        for name in ("one", "two"):
+            path = tmp_path / f"{name}.txt"
+            path.write_text("a b\nb c\nc a\n")
+            sources.append(str(path))
+        script = (
+            "import sys, json\n"
+            "sys.path.insert(0, {src!r})\n"
+            "from repro.ingest import record_import, file_digest\n"
+            "path = sys.argv[1]\n"
+            "for _ in range(25):\n"
+            "    record_import({{'path': path, 'format': 'edges',\n"
+            "                    'sizes': [4], 'seed': 0, 'strategy': 'bfs',\n"
+            "                    'tags': [], 'dynamic': False, 'epochs': 6,\n"
+            "                    'digest': file_digest(path)}},\n"
+            "                  manifest_path={manifest!r})\n"
+        ).format(src=os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"), manifest=manifest)
+        procs = [subprocess.Popen([sys.executable, "-c", script, source],
+                                  stdout=subprocess.PIPE,
+                                  stderr=subprocess.PIPE)
+                 for source in sources]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+        with open(manifest, encoding="utf-8") as handle:
+            data = json.load(handle)                 # must always parse
+        paths = [entry["path"] for entry in data["imports"]]
+        assert 1 <= len(paths) <= 2
+        assert set(paths) <= set(sources)
+        # Whatever survived loads cleanly.
+        registered = load_manifest(manifest)
+        assert len(registered) == len(paths)

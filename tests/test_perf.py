@@ -1,0 +1,94 @@
+"""Tests of the perf plumbing: counter atomicity and the fast-path switch."""
+
+import threading
+
+from repro import perf
+
+
+class TestCounterThreadSafety:
+    def test_add_and_snapshot_are_mutually_atomic(self):
+        """A snapshot must never observe half of a multi-field update.
+
+        Regression for the serving layer: ``GET /metrics`` snapshots the
+        counters from the event loop while job/sweep threads bump them.
+        ``add`` commits its deltas under the counter lock, so the paired
+        fields below can never drift apart in any observed snapshot.
+        """
+        perf.reset_counters()
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            while not stop.is_set():
+                perf.COUNTERS.add(events=1, allocations=1)
+
+        def reader():
+            while not stop.is_set():
+                snap = perf.counters_snapshot()
+                if snap["events"] != snap["allocations"]:
+                    torn.append(snap)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(0.4, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join()
+        timer.cancel()
+        perf.reset_counters()
+        assert torn == [], f"snapshot observed torn updates: {torn[:3]}"
+
+    def test_reset_is_atomic_under_concurrent_snapshots(self):
+        """Concurrent resets never expose a half-zeroed counter set."""
+        stop = threading.Event()
+        torn = []
+
+        def resetter():
+            while not stop.is_set():
+                perf.COUNTERS.add(**{name: 5
+                                     for name in perf.PerfCounters.__slots__})
+                perf.reset_counters()
+
+        def reader():
+            while not stop.is_set():
+                values = set(perf.counters_snapshot().values())
+                # All fields move together (all 0 or all 5); a mixture means
+                # the snapshot interleaved a reset.
+                if len(values) != 1:
+                    torn.append(values)
+
+        threads = [threading.Thread(target=resetter),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(0.4, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join()
+        timer.cancel()
+        perf.reset_counters()
+        assert torn == [], f"reset interleaved with snapshot: {torn[:3]}"
+
+    def test_snapshot_shape_and_reset(self):
+        perf.reset_counters()
+        snap = perf.counters_snapshot()
+        assert set(snap) == set(perf.PerfCounters.__slots__)
+        assert all(value == 0 for value in snap.values())
+        perf.COUNTERS.add(events=3)
+        assert perf.counters_snapshot()["events"] == 3
+        perf.reset_counters()
+        assert perf.counters_snapshot()["events"] == 0
+
+
+class TestFastPathSwitch:
+    def test_context_manager_restores_previous_state(self):
+        assert perf.fast_path_enabled()
+        with perf.fast_path(False):
+            assert not perf.fast_path_enabled()
+            with perf.fast_path(True):
+                assert perf.fast_path_enabled()
+            assert not perf.fast_path_enabled()
+        assert perf.fast_path_enabled()
