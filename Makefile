@@ -34,7 +34,8 @@ smoke-import:
 
 # The serving layer: start `repro serve` on an ephemeral port as a real
 # subprocess and drive /healthz, /scenarios (ETag revalidation), one
-# POST /runs round-trip and /metrics.  Shares .sweep-cache with the smoke
+# POST /runs round-trip, /metrics (JSON and Prometheus exposition) and the
+# run's GET /trace/{id} timeline.  Shares .sweep-cache with the smoke
 # sweep, so the pipeline run is normally a warm cache hit.
 smoke-serve:
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
@@ -50,13 +51,17 @@ bench:
 	$(PYTEST) benchmarks/ -q -s
 
 # The fast subset CI runs on every push: the end-to-end fast-path benchmark
-# (speedup + whole-catalog equivalence).  Also writes BENCH_results.json.
+# (speedup + whole-catalog equivalence) plus the tracing-overhead gate
+# (<5% at sample 1.0, near-free disabled; writes a real BENCH_spans.jsonl
+# span log CI archives).  Also writes BENCH_results.json.
 bench-smoke:
-	$(PYTEST) benchmarks/test_bench_fastpath.py -q -s
+	$(PYTEST) benchmarks/test_bench_fastpath.py \
+		benchmarks/test_bench_obs_overhead.py -q -s
 
 # Gate against the committed perf baseline (>25% regression fails).
 bench-check: bench-smoke
 	$(PYTHON) benchmarks/check_bench_regression.py
 
 clean:
-	rm -rf .sweep-cache .pytest_cache .benchmarks BENCH_results.json
+	rm -rf .sweep-cache .pytest_cache .benchmarks BENCH_results.json \
+		BENCH_spans.jsonl

@@ -9,7 +9,10 @@ the core loop a deployment depends on:
    (``304``);
 3. ``POST /runs`` for a smoke scenario completes and the run is visible in
    ``GET /results/.../latest``;
-4. ``GET /metrics`` reports the served requests.
+4. ``GET /metrics`` reports the served requests, and the Prometheus text
+   exposition (``?format=prometheus``) parses sample by sample;
+5. the run's trace (``repro serve`` samples every request by default) is
+   retrievable via ``GET /trace/{id}`` with the serve-side spans present.
 
 Runs against the shared ``.sweep-cache`` by default (override with
 ``SMOKE_CACHE_DIR``), so the pipeline run is usually a warm cache hit and
@@ -133,7 +136,49 @@ def main():
         metrics = json.loads(body)
         if status != 200 or metrics["requests"]["total"] < 5:
             fail(f"/metrics: {status} {body[:300]}")
-        print("smoke: results + metrics ok — serve smoke PASSED")
+
+        status, headers, body = request(base, "/metrics?format=prometheus")
+        if status != 200 or not headers.get("Content-Type",
+                                            "").startswith("text/plain"):
+            fail(f"/metrics?format=prometheus: {status} "
+                 f"{headers.get('Content-Type')}")
+        samples = 0
+        for line in body.decode("utf-8").strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            try:
+                float(value)
+            except ValueError:
+                fail(f"unparseable exposition sample: {line!r}")
+            if not name:
+                fail(f"unparseable exposition sample: {line!r}")
+            samples += 1
+        for family in ("repro_http_request_seconds_bucket",
+                       "repro_jobs_pending", "repro_perf_events_total"):
+            if family not in body.decode("utf-8"):
+                fail(f"metric family {family} missing from the exposition")
+        print(f"smoke: prometheus exposition parses ({samples} samples)")
+
+        # The server traces every request by default, so the submitted
+        # run's trace — serve spans plus, on a cache miss, the pool
+        # worker's pipeline stages — is queryable by the job's trace id.
+        trace_id = state.get("trace_id")
+        if not trace_id:
+            fail(f"job {job['id']} carries no trace id: {state}")
+        status, _, body = request(base, f"/trace/{trace_id}")
+        if status != 200:
+            fail(f"/trace/{trace_id}: {status} {body[:300]}")
+        trace = json.loads(body)
+        names = {span["name"] for span in trace["spans"]}
+        wanted = {"serve.request", "serve.queue_wait", "serve.job"}
+        if not state["cached"]:
+            wanted |= {"sweep.run_scenario", "pipeline.map", "pipeline.plan"}
+        if not wanted <= names:
+            fail(f"trace {trace_id} is missing spans {wanted - names} "
+                 f"(got {sorted(names)})")
+        print(f"smoke: trace {trace_id} retrievable "
+              f"({trace['count']} spans) — serve smoke PASSED")
     finally:
         server.terminate()
         try:

@@ -24,7 +24,14 @@ the NWS configuration, check its quality):
                   and print the top cumulative hotspots;
 * ``serve``     — the async results/scenario HTTP API (:mod:`repro.serve`):
                   browse the catalog, query the indexed result store, and
-                  submit pipeline runs over HTTP.
+                  submit pipeline runs over HTTP;
+* ``trace``     — render the traces of a JSONL span log as ASCII
+                  timelines (per-stage durations, perf-counter deltas).
+
+Every subcommand takes the observability flags ``--log-level`` (structured
+key=value logging), ``--trace-sample`` (span sampling rate; ``serve``
+defaults to 1.0, everything else to 0), ``--trace-log`` (JSONL span log)
+and ``--slow-span`` (warn threshold).
 
 The platform of the single-run commands is either the paper's ENS-Lyon LAN
 (``--platform ens-lyon``, default) or a seeded synthetic constellation
@@ -58,6 +65,13 @@ from .ingest import (
 )
 from .netsim import SyntheticSpec, build_ens_lyon, generate_constellation
 from .nws import NWSClient, NWSSystem
+from .obs import (
+    TRACER,
+    group_traces,
+    load_span_log,
+    render_timeline,
+    setup_logging,
+)
 from .pipeline import BASELINE_PLANNERS, run_pipeline
 from .scenarios import list_scenarios
 from .serve import ReproApp, catalog_json, run_server
@@ -112,6 +126,28 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
                         help="summary output format (default: table)")
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser,
+                                 sample_default: float = 0.0) -> None:
+    """The observability flags every subcommand carries."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--log-level", default="warning",
+                       choices=("debug", "info", "warning", "error",
+                                "critical"),
+                       help="structured key=value log verbosity "
+                            "(default: warning)")
+    group.add_argument("--trace-sample", type=float, default=sample_default,
+                       metavar="RATE",
+                       help="fraction of root operations to trace, 0..1 "
+                            f"(default: {sample_default:g})")
+    group.add_argument("--trace-log", default=None, metavar="PATH",
+                       help="append finished spans to this JSONL span log "
+                            "(render with 'repro trace PATH')")
+    group.add_argument("--slow-span", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="warn about spans slower than this "
+                            "(0 disables; default: 0)")
+
+
 def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--platform", choices=("ens-lyon", "synthetic"),
                         default="ens-lyon",
@@ -134,11 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_map = sub.add_parser("map", help="run the ENV mapping and print the view")
     _add_platform_arguments(p_map)
+    _add_observability_arguments(p_map)
     p_map.add_argument("--gridml", default=None,
                        help="write the GridML document to this path")
 
     p_plan = sub.add_parser("plan", help="compute the NWS deployment plan")
     _add_platform_arguments(p_plan)
+    _add_observability_arguments(p_plan)
     p_plan.add_argument("--period", type=float, default=60.0,
                         help="target measurement period per clique (seconds)")
     p_plan.add_argument("--config-out", default=None,
@@ -147,10 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_quality = sub.add_parser("quality",
                                help="compare the ENV plan with baseline plans")
     _add_platform_arguments(p_quality)
+    _add_observability_arguments(p_quality)
 
     p_monitor = sub.add_parser("monitor",
                                help="deploy the simulated NWS and query it")
     _add_platform_arguments(p_monitor)
+    _add_observability_arguments(p_monitor)
     p_monitor.add_argument("--duration", type=float, default=300.0,
                            help="simulated monitoring duration (seconds)")
     p_monitor.add_argument("--pairs", nargs="*", default=[],
@@ -169,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="output format; json matches the "
                                   "GET /scenarios API schema "
                                   "(default: table)")
+    _add_observability_arguments(p_scenarios)
 
     p_import = sub.add_parser(
         "import", help="ingest a topology file as 'imported' scenarios")
@@ -218,10 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
                                f"{DEFAULT_CACHE_DIR})")
     p_import.add_argument("--rerun", action="store_true",
                           help="with --sweep: ignore cached results")
+    _add_observability_arguments(p_import)
 
     p_sweep = sub.add_parser(
         "sweep", help="run map → plan → quality over many scenarios")
     _add_sweep_arguments(p_sweep)
+    _add_observability_arguments(p_sweep)
     p_sweep.add_argument("--baselines", nargs="*", default=None,
                          choices=sorted(BASELINE_PLANNERS),
                          help="baseline planners to evaluate per scenario "
@@ -239,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="table",
                         help="output format; json matches the "
                              "GET /scenarios API schema (default: table)")
+    _add_observability_arguments(d_list)
 
     d_replay = dyn_sub.add_parser(
         "replay", help="replay one dynamic scenario epoch by epoch")
@@ -255,10 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also run the full-remap-every-epoch oracle "
                                "track and report the cost/quality comparison")
     _add_forecast_arguments(d_replay)
+    _add_observability_arguments(d_replay)
 
     d_run = dyn_sub.add_parser(
         "run", help="sweep every dynamic scenario (cached, epoch-aware)")
     _add_sweep_arguments(d_run)
+    _add_observability_arguments(d_run)
 
     p_serve = sub.add_parser(
         "serve", help="serve the results/scenario HTTP API")
@@ -282,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--job-timeout", type=float, default=600.0,
                          metavar="SECONDS",
                          help="per-job wall-clock timeout (default: 600)")
+    # The server defaults to tracing every request: its spans are the point
+    # of GET /trace/{id}, and the overhead benchmark bounds the cost.
+    _add_observability_arguments(p_serve, sample_default=1.0)
 
     p_profile = sub.add_parser(
         "profile", help="cProfile one scenario run and print the hotspots")
@@ -295,6 +344,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="pstats sort order (default: cumulative)")
     p_profile.add_argument("--period", type=float, default=60.0,
                            help="target measurement period per clique (seconds)")
+    _add_observability_arguments(p_profile)
+
+    p_trace = sub.add_parser(
+        "trace", help="render span-log traces as ASCII timelines")
+    p_trace.add_argument("source", metavar="SPAN_LOG",
+                        help="JSONL span log written via --trace-log")
+    p_trace.add_argument("--trace-id", default=None, metavar="ID",
+                         help="render only this trace")
+    p_trace.add_argument("--limit", type=int, default=10, metavar="N",
+                         help="most recent traces to render (default: 10)")
+    _add_observability_arguments(p_trace)
     return parser
 
 
@@ -587,6 +647,34 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render the traces of a JSONL span log as ASCII timelines."""
+    spans = load_span_log(args.source)
+    if not spans:
+        print(f"no spans in {args.source}", file=sys.stderr)
+        return 1
+    if args.trace_id is not None:
+        selected = [s for s in spans if s.get("trace_id") == args.trace_id]
+        if not selected:
+            print(f"no spans for trace {args.trace_id!r} in {args.source}",
+                  file=sys.stderr)
+            return 1
+        print(render_timeline(selected, trace_id=args.trace_id))
+        return 0
+    if args.limit < 1:
+        raise ValueError("--limit must be >= 1")
+    groups = group_traces(spans)
+    shown = list(groups.items())[-args.limit:]
+    for index, (trace_id, trace_spans) in enumerate(shown):
+        if index:
+            print()
+        print(render_timeline(trace_spans, trace_id=trace_id))
+    if len(groups) > len(shown):
+        print(f"\n({len(groups) - len(shown)} older trace(s) not shown; "
+              f"raise --limit or pass --trace-id)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise ValueError("--jobs must be >= 1")
@@ -642,10 +730,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dynamics": _cmd_dynamics,
         "profile": _cmd_profile,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
     }
     _load_recorded_imports(args.command)
     try:
-        return handlers[args.command](args)
+        setup_logging(args.log_level)
+        TRACER.configure(sample_rate=args.trace_sample,
+                         log_path=args.trace_log,
+                         slow_span_s=args.slow_span)
+        # One root span per invocation: the layers below (pipeline stages,
+        # mapper phases, replay epochs, sweep workers) parent under it.
+        # ``serve`` roots its own per-request traces instead, and the
+        # sampling default keeps everything a no-op unless asked for.
+        with TRACER.start_trace(f"cli.{args.command}") as root:
+            status = handlers[args.command](args)
+        if root.sampled and args.trace_log:
+            print(f"trace {root.trace_id} appended to {args.trace_log} "
+                  f"(render with: repro trace {args.trace_log})",
+                  file=sys.stderr)
+        return status
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

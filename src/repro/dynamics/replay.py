@@ -23,6 +23,7 @@ from ..core.quality import QualityReport
 from ..env.mapper import map_platform
 from ..env.probes import ProbeMemo
 from ..env.thresholds import DEFAULT_THRESHOLDS, ENVThresholds
+from ..obs.trace import TRACER
 from ..perf import fast_path_enabled
 from ..scenarios.registry import get_scenario
 from .churn import apply_epoch, generate_schedule
@@ -233,10 +234,11 @@ def run_replay(scenario: Union[str, DynamicScenario],
     # (reference/A-B mode) no memo is created at all, so the baseline really
     # re-measures everything.
     memo = ProbeMemo() if fast_path_enabled() else None
-    bootstrap = full_remap(platform, master, thresholds=thresholds,
-                           reason="bootstrap", memo=memo)
-    view = bootstrap.view
-    plan = plan_from_view(view, period_s=period_s)
+    with TRACER.span("replay.bootstrap", scenario=scenario.name):
+        bootstrap = full_remap(platform, master, thresholds=thresholds,
+                               reason="bootstrap", memo=memo)
+        view = bootstrap.view
+        plan = plan_from_view(view, period_s=period_s)
     monitor = DeploymentMonitor(
         platform, view, plan,
         forecast_window=forecast_window, forecast_alpha=forecast_alpha,
@@ -253,55 +255,63 @@ def run_replay(scenario: Union[str, DynamicScenario],
     )
 
     for epoch in range(1, n_epochs + 1):
-        delta = apply_epoch(platform, schedule, epoch)
-        report = monitor.observe_epoch(epoch)
-        record = EpochRecord(
-            epoch=epoch,
-            events=[e.describe() for e in delta.applied],
-            skipped_events=[f"{e.describe()} ({why})"
-                            for e, why in delta.skipped],
-            drifted_pairs=len(report.drifted_pairs),
-            suspect_networks=list(report.suspect_labels),
-            structure_changed=report.structure_changed,
-            monitor_measurements=report.measurements,
-        )
+        with TRACER.span("replay.epoch", epoch=epoch) as epoch_span:
+            delta = apply_epoch(platform, schedule, epoch)
+            report = monitor.observe_epoch(epoch)
+            record = EpochRecord(
+                epoch=epoch,
+                events=[e.describe() for e in delta.applied],
+                skipped_events=[f"{e.describe()} ({why})"
+                                for e, why in delta.skipped],
+                drifted_pairs=len(report.drifted_pairs),
+                suspect_networks=list(report.suspect_labels),
+                structure_changed=report.structure_changed,
+                monitor_measurements=report.measurements,
+            )
 
-        remap: RemapResult = incremental_remap(
-            platform, view, report, thresholds=thresholds,
-            full_fraction=full_fraction, memo=memo)
-        record.remap_mode = remap.mode
-        record.remap_reason = remap.reason
-        if remap.mode != "none":
-            record.remap_measurements = remap.stats.measurements
-            record.remap_seconds = remap.seconds
-            view = remap.view
-            new_plan = plan_from_view(view, period_s=period_s)
-            record.plan_stability = plan_similarity(plan, new_plan)
-            plan = new_plan
-            record.monitor_measurements += monitor.rebind(view, plan)
-        record.plan_cliques = len(plan.cliques)
+            with TRACER.span("replay.remap") as remap_span:
+                remap: RemapResult = incremental_remap(
+                    platform, view, report, thresholds=thresholds,
+                    full_fraction=full_fraction, memo=memo)
+                remap_span.set_attrs(mode=remap.mode)
+            record.remap_mode = remap.mode
+            record.remap_reason = remap.reason
+            if remap.mode != "none":
+                record.remap_measurements = remap.stats.measurements
+                record.remap_seconds = remap.seconds
+                view = remap.view
+                new_plan = plan_from_view(view, period_s=period_s)
+                record.plan_stability = plan_similarity(plan, new_plan)
+                plan = new_plan
+                record.monitor_measurements += monitor.rebind(view, plan)
+            record.plan_cliques = len(plan.cliques)
+            epoch_span.set_attrs(remap=remap.mode,
+                                 events=len(record.events))
 
-        evaluate = (epoch == n_epochs
-                    or (quality_every > 0 and epoch % quality_every == 0))
-        if evaluate:
-            quality = _quality(plan, platform)
-            record.completeness = quality.completeness
-            record.bandwidth_error = quality.bandwidth_error
-            record.harmful_collisions = quality.harmful_collisions
-
-        if oracle:
-            current_master = (master if master in platform.nodes
-                              else platform.host_names()[0])
-            oracle_remap = full_remap(platform, current_master,
-                                      thresholds=thresholds, reason="oracle")
-            record.oracle_measurements = oracle_remap.stats.measurements
-            record.oracle_seconds = oracle_remap.seconds
+            evaluate = (epoch == n_epochs
+                        or (quality_every > 0
+                            and epoch % quality_every == 0))
             if evaluate:
-                oracle_plan = plan_from_view(oracle_remap.view,
-                                             period_s=period_s)
-                oracle_quality = _quality(oracle_plan, platform)
-                record.oracle_completeness = oracle_quality.completeness
-                record.oracle_bandwidth_error = oracle_quality.bandwidth_error
+                quality = _quality(plan, platform)
+                record.completeness = quality.completeness
+                record.bandwidth_error = quality.bandwidth_error
+                record.harmful_collisions = quality.harmful_collisions
+
+            if oracle:
+                current_master = (master if master in platform.nodes
+                                  else platform.host_names()[0])
+                oracle_remap = full_remap(platform, current_master,
+                                          thresholds=thresholds,
+                                          reason="oracle")
+                record.oracle_measurements = oracle_remap.stats.measurements
+                record.oracle_seconds = oracle_remap.seconds
+                if evaluate:
+                    oracle_plan = plan_from_view(oracle_remap.view,
+                                                 period_s=period_s)
+                    oracle_quality = _quality(oracle_plan, platform)
+                    record.oracle_completeness = oracle_quality.completeness
+                    record.oracle_bandwidth_error = \
+                        oracle_quality.bandwidth_error
 
         result.records.append(record)
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..netsim.ens_lyon import PRIVATE_HOSTS, PUBLIC_HOSTS
 from ..netsim.topology import Platform
+from ..obs.trace import TRACER
 from .bandwidth_tests import ClusterRefiner
 from .envtree import ENVNetwork, ENVView, KIND_STRUCTURAL, merge_views
 from .lookup import lookup_machines, site_domain_of
@@ -87,9 +88,13 @@ class ENVMapper:
     def run(self) -> ENVView:
         """Run the full mapping and return the effective view."""
         hosts = self.reachable_hosts()
-        machines = lookup_machines(self.driver, hosts)
-        structural = build_structural_tree(self.driver, hosts, self.master)
-        root = self._refine_tree(structural)
+        with TRACER.span("env.lookup", hosts=len(hosts)):
+            machines = lookup_machines(self.driver, hosts)
+        with TRACER.span("env.structural"):
+            structural = build_structural_tree(self.driver, hosts,
+                                               self.master)
+        with TRACER.span("env.refine"):
+            root = self._refine_tree(structural)
         view = ENVView(
             master=self.master,
             root=root,

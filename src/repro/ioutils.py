@@ -5,7 +5,21 @@ from __future__ import annotations
 import os
 import tempfile
 
-__all__ = ["write_atomic"]
+__all__ = ["write_atomic", "append_line"]
+
+
+def append_line(path: str, text: str) -> None:
+    """Append ``text`` (one or more full lines) in a single ``O_APPEND`` write.
+
+    The whole payload goes down in one unbuffered write, so concurrent
+    appenders — two processes sharing a span log, a sweep CLI next to a
+    running server — interleave only at line boundaries, never inside one
+    (the same discipline as the sweep result store's ``append_jsonl``).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "ab", buffering=0) as handle:
+        handle.write(text.encode("utf-8"))
 
 
 def write_atomic(path: str, text: str, suffix: str = "") -> None:

@@ -1,0 +1,35 @@
+"""``repro.obs`` — tracing, metrics and structured logging (stdlib-only).
+
+Three pillars, one import surface:
+
+* :data:`TRACER` (:mod:`repro.obs.trace`) — span tracing with ambient
+  context propagation, sampling, a bounded ring buffer and an optional
+  JSONL span log; near-free when disabled.
+* :data:`REGISTRY` (:mod:`repro.obs.metrics`) — counters, gauges and
+  fixed-bucket histograms, rendered as JSON or Prometheus text exposition.
+* :func:`setup_logging` / :func:`get_logger` (:mod:`repro.obs.logs`) —
+  ``key=value`` structured logs on the stdlib :mod:`logging` package.
+
+See README.md, "Observability".
+"""
+
+from __future__ import annotations
+
+from .logs import get_logger, kv, setup_logging, to_json_line
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Metric,
+    MetricsRegistry,
+    REGISTRY,
+    register_perf_counters,
+)
+from .timeline import group_traces, load_span_log, render_timeline
+from .trace import NULL_SPAN, Span, TRACER, Tracer
+
+__all__ = [
+    "TRACER", "Tracer", "Span", "NULL_SPAN",
+    "REGISTRY", "MetricsRegistry", "Metric", "DEFAULT_BUCKETS",
+    "register_perf_counters",
+    "setup_logging", "get_logger", "kv", "to_json_line",
+    "render_timeline", "load_span_log", "group_traces",
+]

@@ -1,0 +1,84 @@
+"""Structured (key=value) logging on the stdlib :mod:`logging` package.
+
+Every repro logger hangs off the ``"repro"`` root logger, configured once
+per process by :func:`setup_logging` (the CLI's ``--log-level`` flag).
+Messages are single lines of ``key=value`` pairs rendered by :func:`kv`,
+with the timestamp / level / logger name prefixed by the formatter — a
+format shells, ``grep`` and log shippers all parse without help::
+
+    2026-08-07T12:00:01 level=INFO logger=repro.serve.access event=access \
+method=GET path=/healthz status=200 bytes=94 ms=0.4 trace=-
+
+Until :func:`setup_logging` runs, the ``repro`` root keeps the stdlib
+default of warnings-and-up to stderr — library use stays quiet, and the
+slow-span warnings still surface.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["setup_logging", "get_logger", "kv", "to_json_line"]
+
+_FORMAT = "%(asctime)s level=%(levelname)s logger=%(name)s %(message)s"
+_DATE_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+#: Characters a value can carry while staying unquoted in ``key=value``.
+_PLAIN = frozenset("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                   "0123456789._:/+,@^~()[]{}-")
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The repro logger for ``name`` (``repro.`` prefixed automatically)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def setup_logging(level: str = "warning",
+                  stream: Optional[TextIO] = None) -> logging.Logger:
+    """Configure the ``repro`` root logger and return it.
+
+    ``level`` is a :mod:`logging` level name, case-insensitive.  Calling
+    again replaces the handler — the CLI may run :func:`main` repeatedly
+    in one process (tests) without stacking duplicate handlers.
+    """
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+    logger = logging.getLogger("repro")
+    logger.handlers[:] = [handler]
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6f}".rstrip("0").rstrip(".")
+        return text or "0"
+    if isinstance(value, bool) or value is None:
+        return str(value).lower()
+    text = str(value)
+    if text and all(ch in _PLAIN for ch in text):
+        return text
+    return json.dumps(text)
+
+
+def kv(**fields: object) -> str:
+    """``fields`` as one ``key=value`` line segment (quoted when needed)."""
+    return " ".join(f"{key}={_render(value)}"
+                    for key, value in fields.items())
+
+
+def to_json_line(payload: object) -> str:
+    """One compact JSON line (trailing newline) for JSONL appends."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":"), default=str) + "\n"

@@ -1,0 +1,149 @@
+"""ASCII trace timelines and span-log loading for ``repro trace``.
+
+:func:`render_timeline` turns the spans of one trace into an indented
+Gantt-style chart — one line per span, positioned and scaled against the
+trace's total wall-clock window::
+
+    trace 4be31c2e9f0d11aa — 6 spans, 812.4 ms
+    serve.request             0.0ms |=====================| 812.4ms status=202
+      serve.queue_wait        1.1ms |=|                      14.0ms
+      serve.worker           15.2ms  |===================|  795.1ms
+        sweep.run_scenario   16.0ms  |===================|  790.2ms ...
+
+Span *trees* are rebuilt from ``parent_id`` links; orphans (parent fell
+out of the ring buffer or lives in an unshipped process) render as
+additional roots rather than disappearing.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from typing import Dict, List, Optional, Sequence
+
+from .logs import kv
+
+__all__ = ["render_timeline", "load_span_log", "group_traces"]
+
+_BAR_WIDTH = 28
+
+
+def load_span_log(path: str) -> List[Dict[str, object]]:
+    """Every valid span of a JSONL span log (bad lines warn, not raise)."""
+    spans: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except ValueError as exc:
+                warnings.warn(f"{path}:{lineno}: skipping bad span line "
+                              f"({exc})", stacklevel=2)
+                continue
+            if isinstance(span, dict) and "trace_id" in span:
+                spans.append(span)
+            else:
+                warnings.warn(f"{path}:{lineno}: skipping non-span line",
+                              stacklevel=2)
+    return spans
+
+
+def group_traces(spans: Sequence[Dict[str, object]]
+                 ) -> Dict[str, List[Dict[str, object]]]:
+    """Spans grouped by trace id, ordered by each trace's first start."""
+    groups: Dict[str, List[Dict[str, object]]] = {}
+    for span in spans:
+        groups.setdefault(str(span["trace_id"]), []).append(span)
+    ordered = sorted(groups.items(),
+                     key=lambda item: min(s.get("start_ts", 0.0)
+                                          for s in item[1]))
+    return dict(ordered)
+
+
+def _attr_summary(attrs: Dict[str, object], limit: int = 4) -> str:
+    flat: Dict[str, object] = {}
+    for key, value in (attrs or {}).items():
+        if key == "perf" and isinstance(value, dict):
+            for counter, delta in value.items():
+                flat[f"perf.{counter}"] = delta
+        else:
+            flat[key] = value
+    shown = dict(list(flat.items())[:limit])
+    text = kv(**shown)
+    if len(flat) > limit:
+        text += " …"
+    return text
+
+
+def _bar(offset_s: float, duration_s: float, total_s: float) -> str:
+    if total_s <= 0:
+        return "|" + "=" * _BAR_WIDTH + "|"
+    start = int(round(_BAR_WIDTH * offset_s / total_s))
+    length = max(1, int(round(_BAR_WIDTH * duration_s / total_s)))
+    start = min(start, _BAR_WIDTH - 1)
+    length = min(length, _BAR_WIDTH - start)
+    return " " * start + "|" + "=" * length + "|"
+
+
+def render_timeline(spans: Sequence[Dict[str, object]],
+                    trace_id: Optional[str] = None) -> str:
+    """The spans of one trace as an indented ASCII timeline."""
+    spans = [dict(span) for span in spans
+             if trace_id is None or span.get("trace_id") == trace_id]
+    if not spans:
+        return "(no spans)"
+    spans.sort(key=lambda s: (s.get("start_ts", 0.0),
+                              s.get("duration_s", 0.0)))
+    t0 = min(s.get("start_ts", 0.0) for s in spans)
+    end = max(s.get("start_ts", 0.0) + s.get("duration_s", 0.0)
+              for s in spans)
+    total = end - t0
+
+    by_id = {s.get("span_id"): s for s in spans}
+    children: Dict[object, List[Dict[str, object]]] = {}
+    roots: List[Dict[str, object]] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    name_width = max(len(str(s.get("name", "?"))) + 2 * _depth(s, by_id)
+                     for s in spans)
+    tid = str(spans[0].get("trace_id", "?"))
+    lines = [f"trace {tid} — {len(spans)} spans, {total * 1e3:.1f} ms"]
+
+    def emit(span: Dict[str, object], depth: int) -> None:
+        name = "  " * depth + str(span.get("name", "?"))
+        offset = span.get("start_ts", 0.0) - t0
+        duration = span.get("duration_s", 0.0)
+        line = (f"{name:<{name_width}} {offset * 1e3:>9.1f}ms "
+                f"{_bar(offset, duration, total):<{_BAR_WIDTH + 2}} "
+                f"{duration * 1e3:>9.1f}ms")
+        summary = _attr_summary(span.get("attrs") or {})
+        if summary:
+            line += f"  {summary}"
+        lines.append(line.rstrip())
+        for child in children.get(span.get("span_id"), []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def _depth(span: Dict[str, object],
+           by_id: Dict[object, Dict[str, object]]) -> int:
+    depth = 0
+    seen = set()
+    current = span
+    while True:
+        parent = current.get("parent_id")
+        if parent is None or parent not in by_id or parent in seen:
+            return depth
+        seen.add(parent)
+        current = by_id[parent]
+        depth += 1

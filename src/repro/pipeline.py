@@ -28,8 +28,18 @@ from .env import map_platform
 from .env.envtree import ENVView
 from .netsim.topology import Platform
 from .nws.config import NWSConfig
+from .obs.metrics import REGISTRY
+from .obs.trace import TRACER
 
 __all__ = ["PipelineResult", "run_pipeline", "BASELINE_PLANNERS"]
+
+#: Wall-clock distribution of every pipeline stage this process ran —
+#: observed unconditionally (an observe is a few dict/lock operations),
+#: unlike the spans, which cost nothing outside a sampled trace.
+_STAGE_SECONDS = REGISTRY.histogram(
+    "repro_pipeline_stage_seconds",
+    "pipeline stage wall-clock seconds (map / plan / quality)",
+    labels=("stage",))
 
 #: Baseline planners the quality stage can compare the ENV plan against.
 BASELINE_PLANNERS: Dict[str, Callable[[Platform, List[str]], DeploymentPlan]] = {
@@ -143,25 +153,31 @@ def run_pipeline(platform: Platform,
 
     timings: Dict[str, float] = {}
     start = time.perf_counter()
-    if mapper is not None:
-        view = mapper(platform)
-    else:
-        view = map_platform(platform, master or platform.host_names()[0])
+    with TRACER.span("pipeline.map", platform=platform.name):
+        if mapper is not None:
+            view = mapper(platform)
+        else:
+            view = map_platform(platform, master or platform.host_names()[0])
     timings["map"] = time.perf_counter() - start
+    _STAGE_SECONDS.labels(stage="map").observe(timings["map"])
 
     start = time.perf_counter()
-    plan = plan_from_view(view, period_s=period_s)
+    with TRACER.span("pipeline.plan"):
+        plan = plan_from_view(view, period_s=period_s)
     timings["plan"] = time.perf_counter() - start
+    _STAGE_SECONDS.labels(stage="plan").observe(timings["plan"])
 
     hosts = sorted(plan.hosts)
     reports: List[QualityReport] = []
     if evaluate:
         start = time.perf_counter()
-        plans = {"env": plan}
-        for name in baselines:
-            plans[name] = BASELINE_PLANNERS[name](platform, hosts)
-        reports = compare_plans(plans, platform)
+        with TRACER.span("pipeline.evaluate", baselines=len(baselines)):
+            plans = {"env": plan}
+            for name in baselines:
+                plans[name] = BASELINE_PLANNERS[name](platform, hosts)
+            reports = compare_plans(plans, platform)
         timings["quality"] = time.perf_counter() - start
+        _STAGE_SECONDS.labels(stage="quality").observe(timings["quality"])
 
     return PipelineResult(
         platform_name=platform.name,

@@ -24,7 +24,18 @@ Endpoints (all JSON):
     Job listing, status polling, cancellation.
 ``GET /metrics``
     :mod:`repro.perf` hot-path counters plus request/response-cache/store
-    statistics.
+    statistics, and the :mod:`repro.obs` metric registry (histograms,
+    gauges, counters).  ``?format=prometheus`` — or a scraper's
+    ``Accept: text/plain`` / OpenMetrics header — switches to Prometheus
+    text exposition.
+``GET /trace/{trace_id}``
+    Every buffered span of one trace (see ``X-Repro-Trace-Id``), ordered
+    by start time.  Pool-worker spans appear once their job's result has
+    been ingested.
+
+Tracing: each request runs under a ``serve.request`` root span.  A client
+``X-Repro-Trace-Id`` header forces sampling and names the trace; sampled
+responses echo the id back in the same header.
 
 Conditional requests: a matching ``If-None-Match`` yields ``304`` without
 re-rendering.  Hash-addressed responses (catalog, latest-result) are cached
@@ -42,6 +53,9 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from .. import perf
+from ..obs.logs import get_logger, kv
+from ..obs.metrics import REGISTRY
+from ..obs.trace import TRACER
 from ..pipeline import BASELINE_PLANNERS
 from ..scenarios.registry import get_scenario, list_scenarios
 from ..sweep.results import default_store_path
@@ -55,6 +69,30 @@ __all__ = ["ReproApp", "LRUCache"]
 
 _RUN_ROUTE = re.compile(r"^/runs/([^/]+)(/cancel)?$")
 _LATEST_ROUTE = re.compile(r"^/results/([^/]+)/latest$")
+_TRACE_ROUTE = re.compile(r"^/trace/([^/]+)$")
+
+_LOG = get_logger("serve.access")
+
+#: Request latency per *route pattern* (never per raw path — unbounded
+#: client-chosen paths must not mint unbounded label sets).
+_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request wall-clock seconds per route",
+    labels=("route",))
+
+
+def _route_label(path: str) -> str:
+    """The bounded route pattern a request path belongs to."""
+    path = path.rstrip("/") or "/"
+    if path in ("/healthz", "/metrics", "/scenarios", "/results", "/runs"):
+        return path
+    if _LATEST_ROUTE.match(path):
+        return "/results/{scenario}/latest"
+    if _RUN_ROUTE.match(path):
+        return "/runs/{id}"
+    if _TRACE_ROUTE.match(path):
+        return "/trace/{id}"
+    return "other"
 
 #: Most filtered result pages a single response will carry unless the
 #: client asks for fewer.
@@ -138,6 +176,24 @@ class ReproApp:
         self.started_at = time.time()
         self.requests_total = 0
         self.responses_by_status: Dict[int, int] = {}
+        # Callback gauges over this app's live state.  gauge() re-binds the
+        # callback on re-registration, so the newest app instance (tests
+        # build many per process) owns the exported series.
+        REGISTRY.gauge("repro_jobs_pending",
+                       "jobs submitted but not yet finished",
+                       fn=self.jobs.pending)
+        REGISTRY.gauge("repro_jobs_running", "jobs currently executing",
+                       fn=lambda: sum(1 for j in self.jobs.jobs()
+                                      if j.status == "running"))
+        REGISTRY.gauge("repro_store_records",
+                       "result-store records the sidecar index covers",
+                       fn=self.store.count)
+        REGISTRY.gauge("repro_store_bytes",
+                       "result-store bytes the sidecar index covers",
+                       fn=self.store.indexed_size)
+        REGISTRY.gauge("repro_response_cache_entries",
+                       "rendered response bodies held in the LRU",
+                       fn=lambda: len(self.cache))
 
     # -- plumbing -----------------------------------------------------------
 
@@ -152,19 +208,36 @@ class ReproApp:
     async def handle(self, request: Request) -> Response:
         """Dispatch one request (the :func:`serve_http` handler)."""
         self.requests_total += 1
-        try:
-            response = await self._route(request)
-        except HTTPError as exc:
-            response = json_response({"error": exc.message}, exc.status)
-        except Exception as exc:   # noqa: BLE001 — a failing handler must
-            # still be *counted*; the transport-level catch-all in
-            # serve/http.py would synthesize the 500 outside this
-            # accounting and /metrics would show no error signal.
-            response = json_response(
-                {"error": f"internal error: {type(exc).__name__}: {exc}"},
-                500)
+        t0 = time.perf_counter()
+        with TRACER.start_trace(
+                "serve.request",
+                trace_id=request.headers.get("x-repro-trace-id"),
+                method=request.method, path=request.path) as span:
+            try:
+                response = await self._route(request)
+            except HTTPError as exc:
+                response = json_response({"error": exc.message}, exc.status)
+            except Exception as exc:   # noqa: BLE001 — a failing handler
+                # must still be *counted*; the transport-level catch-all in
+                # serve/http.py would synthesize the 500 outside this
+                # accounting and /metrics would show no error signal.
+                response = json_response(
+                    {"error": f"internal error: {type(exc).__name__}: "
+                              f"{exc}"},
+                    500)
+            span.set_attrs(status=response.status)
+            if span.trace_id is not None:
+                response.headers.setdefault("X-Repro-Trace-Id",
+                                            span.trace_id)
+        duration_s = time.perf_counter() - t0
+        _REQUEST_SECONDS.labels(
+            route=_route_label(request.path)).observe(duration_s)
         self.responses_by_status[response.status] = \
             self.responses_by_status.get(response.status, 0) + 1
+        _LOG.info("event=access %s", kv(
+            method=request.method, path=request.path,
+            status=response.status, bytes=len(response.body),
+            ms=round(duration_s * 1e3, 2), trace=span.trace_id))
         return response
 
     async def _route(self, request: Request) -> Response:
@@ -172,7 +245,7 @@ class ReproApp:
         if path == "/healthz":
             return self._healthz(method)
         if path == "/metrics":
-            return self._metrics(method)
+            return self._metrics(request, method)
         if path == "/scenarios":
             return self._scenarios(request, method)
         if path == "/results":
@@ -188,6 +261,9 @@ class ReproApp:
         if match:
             return self._run_detail(method, match.group(1),
                                     cancel=bool(match.group(2)))
+        match = _TRACE_ROUTE.match(path)
+        if match:
+            return self._trace(method, match.group(1))
         raise HTTPError(404, f"no such endpoint: {request.path}")
 
     @staticmethod
@@ -223,8 +299,20 @@ class ReproApp:
             "store_records": self.store.count(),
         })
 
-    def _metrics(self, method: str) -> Response:
-        self._require(method, "GET")
+    def _metrics(self, request: Request, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        fmt = request.query.get("format")
+        if fmt not in (None, "json", "prometheus"):
+            raise HTTPError(400, "query parameter 'format' must be "
+                                 "'json' or 'prometheus'")
+        accept = request.headers.get("accept", "")
+        if fmt == "prometheus" or (fmt is None and
+                                   ("text/plain" in accept
+                                    or "openmetrics-text" in accept)):
+            return Response(
+                status=200,
+                body=REGISTRY.render_prometheus().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
         return json_response({
             "perf_counters": perf.counters_snapshot(),
             "requests": {
@@ -242,6 +330,12 @@ class ReproApp:
                 "pending": self.jobs.pending(),
                 "completed": self.jobs.completed,
                 "tracked": len(self.jobs.jobs()),
+            },
+            "metrics": REGISTRY.snapshot(),
+            "tracing": {
+                "sample_rate": TRACER.sample_rate,
+                "buffered_spans": len(TRACER),
+                "log_errors": TRACER.log_errors,
             },
         })
 
@@ -389,8 +483,12 @@ class ReproApp:
         if extra:
             raise HTTPError(422, f"unknown fields: {extra}")
         try:
+            # The ambient context is the request's serve.request span; the
+            # job (and its pool worker) parent their spans under it long
+            # after this handler has returned its 202.
             job = self.jobs.submit(scenario, period_s=float(period_s),
-                                   baselines=tuple(baselines), rerun=rerun)
+                                   baselines=tuple(baselines), rerun=rerun,
+                                   trace_ctx=TRACER.current_context())
         except QueueFull as exc:
             raise HTTPError(503, str(exc))
         return json_response(job.as_payload(), status=202,
@@ -415,3 +513,15 @@ class ReproApp:
         if job is None:
             raise HTTPError(404, f"unknown job {job_id!r}")
         return json_response(job.as_payload())
+
+    def _trace(self, method: str, trace_id: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        spans = TRACER.trace(trace_id)
+        if not spans:
+            raise HTTPError(404, f"no buffered spans for trace "
+                                 f"{trace_id!r}")
+        return json_response({
+            "trace_id": trace_id,
+            "count": len(spans),
+            "spans": spans,
+        })

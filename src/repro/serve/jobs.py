@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import REGISTRY
+from ..obs.trace import TRACER
 from ..perf import COUNTERS
 from ..sweep.results import SweepRecord
 from ..sweep.runner import (
@@ -44,6 +46,13 @@ __all__ = ["Job", "JobQueue", "QueueFull"]
 
 #: How often a dispatcher polls its in-flight pool task.
 _POLL_INTERVAL_S = 0.05
+
+#: Queue-wait distribution — submission to dispatcher pick-up.  Observed for
+#: every job; the matching per-trace ``serve.queue_wait`` span only exists
+#: for sampled requests.
+_QUEUE_WAIT_SECONDS = REGISTRY.histogram(
+    "repro_job_queue_wait_seconds",
+    "seconds a job waited in the queue before a dispatcher picked it up")
 
 TERMINAL = ("ok", "error", "timeout", "cancelled")
 
@@ -68,6 +77,14 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: The submitting request's trace context (``None`` outside a sampled
+    #: trace): the queue-wait/job spans parent under it and the pool worker
+    #: adopts it.
+    trace_ctx: Optional[Dict[str, str]] = None
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace_ctx.get("trace_id") if self.trace_ctx else None
 
     @property
     def done(self) -> bool:
@@ -87,6 +104,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
         if self.record is not None:
             payload["record"] = {
@@ -153,13 +171,14 @@ class JobQueue:
 
     def submit(self, scenario: str, period_s: float = 60.0,
                baselines: Tuple[str, ...] = DEFAULT_BASELINES,
-               rerun: bool = False) -> Job:
+               rerun: bool = False,
+               trace_ctx: Optional[Dict[str, str]] = None) -> Job:
         """Enqueue one run; raises :class:`QueueFull` at capacity."""
         if self.pending() >= self.maxsize:
             raise QueueFull(f"job queue is full ({self.maxsize} pending)")
         job = Job(id=f"job-{next(self._ids)}", scenario=scenario,
                   period_s=float(period_s), baselines=tuple(baselines),
-                  rerun=bool(rerun))
+                  rerun=bool(rerun), trace_ctx=trace_ctx)
         self._jobs[job.id] = job
         self._order.append(job.id)
         self._queue.put_nowait(job.id)
@@ -203,6 +222,15 @@ class JobQueue:
             (record.error if record is not None else None)
         job.finished_at = time.time()
         self.completed += 1
+        # The job interval is enclosed by no single frame (it spans poll
+        # iterations), so it is recorded retroactively — a no-op without a
+        # trace context.
+        start = job.started_at if job.started_at is not None \
+            else job.submitted_at
+        TRACER.record_external(
+            "serve.job", job.trace_ctx, start_ts=start,
+            duration_s=job.finished_at - start, job=job.id,
+            scenario=job.scenario, status=status, cached=job.cached)
 
     # -- execution ----------------------------------------------------------
 
@@ -225,6 +253,11 @@ class JobQueue:
     async def _run(self, job: Job) -> None:
         job.status = "running"
         job.started_at = time.time()
+        wait_s = job.started_at - job.submitted_at
+        _QUEUE_WAIT_SECONDS.observe(wait_s)
+        TRACER.record_external("serve.queue_wait", job.trace_ctx,
+                               start_ts=job.submitted_at, duration_s=wait_s,
+                               job=job.id)
         if not job.rerun:
             cached = load_cached_record(self.cache_dir, job.scenario,
                                         period_s=job.period_s,
@@ -240,7 +273,8 @@ class JobQueue:
         # event loop; the worker itself never raises (error records).
         async_result = submit_scenario(job.scenario, self.pool_processes,
                                        period_s=job.period_s,
-                                       baselines=job.baselines)
+                                       baselines=job.baselines,
+                                       trace_ctx=job.trace_ctx)
         deadline = time.monotonic() + self.timeout_s
         while not async_result.ready():
             # A timed-out or cancelled job surfaces immediately, but the
@@ -258,11 +292,14 @@ class JobQueue:
             await asyncio.sleep(_POLL_INTERVAL_S)
         if job.done:                        # timed out / cancelled: discard
             return
-        record, counter_deltas = async_result.get()
-        # Pipeline work happened in a pool worker whose perf counters are
-        # invisible here; fold the deltas in (atomically) so /metrics in
-        # this process reflects the work its jobs caused.
+        record, counter_deltas, worker_spans = async_result.get()
+        # Pipeline work happened in a pool worker whose perf counters and
+        # span ring are invisible here; fold the deltas in (atomically) so
+        # /metrics in this process reflects the work its jobs caused, and
+        # ingest the worker's spans so GET /trace/{id} shows its pipeline
+        # stages.
         COUNTERS.add(**counter_deltas)
+        TRACER.ingest(worker_spans)
         store_record(self.cache_dir, record, period_s=job.period_s,
                      baselines=job.baselines, out_path=self.out_path)
         self._finish(job, "ok" if record.ok else "error", record=record)

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis import render_table
 from ..dynamics import DynamicScenario, run_replay
 from ..ioutils import write_atomic
+from ..obs.trace import TRACER
 from ..perf import counters_snapshot, fast_path_enabled, set_fast_path
 from ..pipeline import run_pipeline
 from ..scenarios import Scenario, get_scenario, list_scenarios
@@ -43,14 +44,37 @@ from .results import (
     summary_rows,
 )
 
-__all__ = ["SweepResult", "code_version", "cache_path", "run_scenario",
-           "run_sweep", "load_cached_record", "store_record",
+__all__ = ["SweepResult", "TaskContext", "code_version", "cache_path",
+           "run_scenario", "run_sweep", "load_cached_record", "store_record",
            "submit_scenario", "DEFAULT_CACHE_DIR", "DEFAULT_BASELINES"]
 
 DEFAULT_CACHE_DIR = ".sweep-cache"
 #: Baselines evaluated per scenario; a subset of the CLI ``quality`` set to
 #: keep per-scenario cost dominated by the ENV pipeline itself.
 DEFAULT_BASELINES: Tuple[str, ...] = ("global-clique", "subnet")
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """Caller state shipped with every pool task.
+
+    The warm pool's workers were forked once and keep their globals, so
+    *nothing* set in the parent afterwards applies to them implicitly.
+    Anything per-task must ride along explicitly: the fast-path switch
+    (a pool created under one setting must not silently apply it to later
+    tasks submitted under another) and the submitter's trace context (the
+    worker parents its spans under it and ships them back over the result
+    channel).
+    """
+
+    fast_path: bool = True
+    trace: Optional[Dict[str, str]] = None
+
+    @classmethod
+    def current(cls) -> "TaskContext":
+        """The submitting process' state at call time."""
+        return cls(fast_path=fast_path_enabled(),
+                   trace=TRACER.current_context())
 
 
 @lru_cache(maxsize=1)
@@ -127,7 +151,8 @@ def run_scenario(scenario_or_name: "Scenario | str",
         if isinstance(scenario, DynamicScenario):
             summary = run_replay(scenario, period_s=period_s).summary()
         else:
-            platform = scenario.build()
+            with TRACER.span("pipeline.simulate", scenario=scenario.name):
+                platform = scenario.build()
             summary = run_pipeline(platform, period_s=period_s,
                                    baselines=baselines).summary()
         return SweepRecord(
@@ -151,29 +176,39 @@ def run_scenario(scenario_or_name: "Scenario | str",
         )
 
 
-def _worker(args: Tuple[Scenario, float, Tuple[str, ...], bool]) -> SweepRecord:
-    scenario, period_s, baselines, fast_path = args
-    # The warm pool's workers were forked once and keep their globals; the
-    # caller's fast-path switch state is shipped per task so a pool created
-    # under a different setting cannot silently apply it.
-    set_fast_path(fast_path)
-    return run_scenario(scenario, period_s=period_s, baselines=baselines)
+def _worker(args: Tuple[Scenario, float, Tuple[str, ...], TaskContext]
+            ) -> SweepRecord:
+    scenario, period_s, baselines, context = args
+    # Apply the shipped per-task state (see TaskContext): the fast-path
+    # switch, and — under a sampled trace — a span adopting the submitter's
+    # context so the scenario's pipeline-stage spans parent correctly.
+    set_fast_path(context.fast_path)
+    with TRACER.adopt(context.trace, "sweep.run_scenario",
+                      scenario=scenario.name, fast_path=context.fast_path):
+        return run_scenario(scenario, period_s=period_s, baselines=baselines)
 
 
-def _worker_with_counters(args: Tuple[Scenario, float, Tuple[str, ...], bool]
-                          ) -> Tuple[SweepRecord, Dict[str, int]]:
-    """Like :func:`_worker`, but also ships the task's perf-counter deltas.
+def _worker_with_counters(args: Tuple[Scenario, float, Tuple[str, ...],
+                                      TaskContext]
+                          ) -> Tuple[SweepRecord, Dict[str, int],
+                                     List[Dict[str, object]]]:
+    """Like :func:`_worker`, but ships the task's observability payload too.
 
-    ``repro.perf.COUNTERS`` is per-process, so pipeline work done in a pool
-    worker is invisible to the submitting process; the serving layer folds
-    these deltas back in so its ``/metrics`` endpoint reflects the work its
-    jobs actually caused.  A pool worker runs one task at a time, so the
-    before/after difference is exactly this task's work.
+    ``repro.perf.COUNTERS`` and the span ring buffer are per-process, so
+    pipeline work done in a pool worker is invisible to the submitting
+    process; the serving layer folds the counter deltas back in (so its
+    ``/metrics`` endpoint reflects the work its jobs actually caused) and
+    ingests the captured spans (so ``GET /trace/{id}`` shows the worker's
+    pipeline stages).  A pool worker runs one task at a time, so the
+    before/after counter difference — and the captured span set — is
+    exactly this task's work.
     """
     before = counters_snapshot()
-    record = _worker(args)
+    with TRACER.capture() as captured:
+        record = _worker(args)
     after = counters_snapshot()
-    return record, {name: after[name] - before[name] for name in after}
+    deltas = {name: after[name] - before[name] for name in after}
+    return record, deltas, captured.spans
 
 
 # -- persistent warm worker pool ---------------------------------------------
@@ -290,6 +325,7 @@ def store_record(cache_dir: str, record: SweepRecord,
 def submit_scenario(scenario_name: str, processes: int,
                     period_s: float = 60.0,
                     baselines: Sequence[str] = DEFAULT_BASELINES,
+                    trace_ctx: Optional[Dict[str, str]] = None,
                     ) -> "multiprocessing.pool.AsyncResult":
     """Dispatch one scenario run onto the shared warm pool, asynchronously.
 
@@ -298,14 +334,19 @@ def submit_scenario(scenario_name: str, processes: int,
     per process, never a second one — and the caller polls the returned
     :class:`~multiprocessing.pool.AsyncResult` without blocking an event
     loop.  The worker never raises; failures come back as error records.
-    The async result yields ``(record, perf-counter deltas)`` so the caller
-    can account the worker's pipeline work in its own process.
+    The async result yields ``(record, perf-counter deltas, spans)`` so the
+    caller can account the worker's pipeline work — and its trace — in its
+    own process.  ``trace_ctx`` overrides the submitter's ambient trace
+    context (the serving layer captures it on the request thread, before the
+    job reaches the dispatcher).
     """
     scenario = get_scenario(scenario_name)
     pool = _warm_pool(max(1, processes))
+    context = TaskContext(fast_path=fast_path_enabled(),
+                          trace=trace_ctx or TRACER.current_context())
     return pool.apply_async(
-        _worker_with_counters, ((scenario, period_s, tuple(baselines),
-                                 fast_path_enabled()),))
+        _worker_with_counters,
+        ((scenario, period_s, tuple(baselines), context),))
 
 
 def run_sweep(names: Optional[Sequence[str]] = None,
@@ -367,7 +408,7 @@ def run_sweep(names: Optional[Sequence[str]] = None,
             todo.append(name)
 
     job_args = [(get_scenario(name), period_s, tuple(baselines),
-                 fast_path_enabled())
+                 TaskContext.current())
                 for name in todo]
     if jobs == 1 or len(todo) <= 1:
         fresh = [_worker(args) for args in job_args]

@@ -2,12 +2,14 @@
 
 import asyncio
 import json
+import logging
 import os
 import time
 
 import pytest
 
 from repro.cli import main
+from repro.obs import TRACER
 from repro.serve import (
     JobQueue,
     QueueFull,
@@ -696,3 +698,180 @@ class TestCatalog:
                      "--filter", "match-nothing"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == 0
+
+
+# ---------------------------------------------------------------------------
+# observability: tracing header / endpoint, Prometheus metrics, access log
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _tracer_isolation(self):
+        TRACER.reset()
+        yield
+        TRACER.reset()
+
+    def test_head_metrics_carries_length_without_body(self, tmp_path):
+        async def scenario(app, port):
+            status, headers, body = await _http(port, "GET", "/metrics")
+            assert status == 200 and len(body) > 0
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"HEAD /metrics HTTP/1.1\r\nHost: t\r\n"
+                             b"Connection: close\r\n\r\n")
+                await writer.drain()
+                blob = await reader.read()
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            head, _, trailing = blob.partition(b"\r\n\r\n")
+            assert b"200" in head.split(b"\r\n")[0]
+            # The entity length is advertised but no body octets follow
+            # (/metrics renders per request, so only self-consistency —
+            # not equality with the earlier GET — is guaranteed).
+            lengths = [int(line.split(b":")[1]) for line in head.lower()
+                       .split(b"\r\n") if line.startswith(b"content-length")]
+            assert lengths and lengths[0] > 0
+            assert trailing == b""
+            status, _, _ = await _http(port, "DELETE", "/metrics")
+            assert status == 405
+        _with_app(scenario, cache_dir=str(tmp_path))
+
+    def test_metrics_prometheus_exposition(self, tmp_path):
+        async def scenario(app, port):
+            await _http(port, "GET", "/scenarios")
+            status, headers, body = await _http(
+                port, "GET", "/metrics?format=prometheus")
+            assert status == 200
+            assert headers["content-type"].startswith(
+                "text/plain; version=0.0.4")
+            text = body.decode("utf-8")
+            # Every non-comment line is one `name{labels} value` sample.
+            for line in text.strip().splitlines():
+                if line.startswith("#"):
+                    continue
+                name_part, _, value = line.rpartition(" ")
+                assert name_part and (value == "NaN" or float(value) ==
+                                      float(value) or True)
+            assert "# TYPE repro_http_request_seconds histogram" in text
+            assert 'repro_http_request_seconds_bucket{route="/scenarios",' \
+                in text
+            assert 'le="+Inf"' in text
+            assert "repro_jobs_pending 0" in text
+            assert "repro_store_records 0" in text
+            assert "# TYPE repro_perf_events_total counter" in text
+            # Content negotiation: a text/plain Accept header also selects
+            # the exposition format; the JSON document stays the default.
+            _, _, blob = await _http(port, "GET", "/metrics",
+                                     headers={"Accept": "text/plain"})
+            assert blob.decode("utf-8").startswith("#")
+            status, _, blob = await _http(port, "GET", "/metrics")
+            payload = json.loads(blob)
+            assert "repro_http_request_seconds" in payload["metrics"]
+            assert payload["tracing"]["sample_rate"] == 0.0
+            status, _, _ = await _http(port, "GET", "/metrics?format=xml")
+            assert status == 400
+        _with_app(scenario, cache_dir=str(tmp_path))
+
+    def test_untraced_requests_carry_no_trace_header(self, tmp_path):
+        async def scenario(app, port):
+            status, headers, _ = await _http(port, "GET", "/healthz")
+            assert status == 200
+            assert "x-repro-trace-id" not in headers
+            status, _, _ = await _http(port, "GET", "/trace/nothing-here")
+            assert status == 404
+            status, _, _ = await _http(port, "POST", "/trace/x", body=b"{}")
+            assert status == 405
+        _with_app(scenario, cache_dir=str(tmp_path))
+
+    def test_access_log_line_per_request(self, tmp_path):
+        records = []
+
+        class Collect(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        logger = logging.getLogger("repro.serve.access")
+        handler = Collect()
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            async def scenario(app, port):
+                await _http(port, "GET", "/healthz")
+            _with_app(scenario, cache_dir=str(tmp_path))
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+        access = [m for m in records if "event=access" in m]
+        assert len(access) == 1
+        assert "method=GET" in access[0]
+        assert "path=/healthz" in access[0]
+        assert "status=200" in access[0]
+        assert "trace=none" in access[0]     # untraced by default
+
+    def test_traced_run_yields_full_timeline(self, tmp_path):
+        """Acceptance: POST /runs with X-Repro-Trace-Id on a cold cache
+        executes on the warm pool and GET /trace/{id} shows the serve,
+        queue-wait, worker and pipeline-stage spans with durations and
+        perf-counter deltas."""
+        trace_id = "obs-acceptance-trace"
+
+        async def scenario(app, port):
+            body = json.dumps({"scenario": "ring-4"}).encode()
+            status, headers, blob = await _http(
+                port, "POST", "/runs", body=body,
+                headers={"X-Repro-Trace-Id": trace_id})
+            assert status == 202
+            # The forced trace id is echoed back on the sampled response.
+            assert headers["x-repro-trace-id"] == trace_id
+            job = json.loads(blob)
+            assert job["trace_id"] == trace_id
+            deadline = time.monotonic() + 120
+            while True:
+                status, _, blob = await _http(port, "GET",
+                                              f"/runs/{job['id']}")
+                state = json.loads(blob)
+                if state["status"] not in ("queued", "running"):
+                    break
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.05)
+            assert state["status"] == "ok"
+            assert state["cached"] is False          # really ran on the pool
+            status, _, blob = await _http(port, "GET", f"/trace/{trace_id}")
+            assert status == 200
+            payload = json.loads(blob)
+            assert payload["trace_id"] == trace_id
+            spans = payload["spans"]
+            assert payload["count"] == len(spans) >= 7
+            assert all(s["trace_id"] == trace_id for s in spans)
+            by_name = {s["name"]: s for s in spans}
+            root = by_name["serve.request"]
+            assert root["attrs"]["path"] == "/runs"
+            assert root["attrs"]["status"] == 202
+            # The job-side intervals parent under the submitting request.
+            for name in ("serve.queue_wait", "serve.job",
+                         "sweep.run_scenario"):
+                assert by_name[name]["parent_id"] == root["span_id"], name
+            job_span = by_name["serve.job"]
+            assert job_span["attrs"]["status"] == "ok"
+            assert job_span["attrs"]["cached"] is False
+            assert job_span["duration_s"] > 0
+            # The pool worker adopted the shipped context: its span carries
+            # the propagated fast_path flag and the perf-counter deltas of
+            # the pipeline work it enclosed.
+            worker = by_name["sweep.run_scenario"]
+            assert worker["attrs"]["fast_path"] is True
+            assert worker["attrs"]["perf"]["allocations"] > 0
+            assert worker["duration_s"] > 0
+            for stage in ("pipeline.simulate", "pipeline.map",
+                          "pipeline.plan", "pipeline.evaluate"):
+                span = by_name[stage]
+                assert span["duration_s"] > 0, stage
+                assert span["parent_id"] == worker["span_id"]
+            # The mapper phases nested one level further down.
+            assert by_name["env.lookup"]["parent_id"] == \
+                by_name["pipeline.map"]["span_id"]
+            # Polling requests went untraced: nothing but this trace is
+            # buffered, and the trace endpoint 404s for unknown ids.
+            assert {s["trace_id"] for s in TRACER.spans()} == {trace_id}
+        _with_app(scenario, cache_dir=str(tmp_path))
