@@ -44,19 +44,23 @@ smoke-serve:
 sweep:
 	$(REPRO) sweep --jobs 4 --cache-dir .sweep-cache
 
-# Full benchmark suite.  Every benchmark run writes a machine-readable perf
-# trajectory (per-benchmark wall time + hot-path work counters) to
-# BENCH_results.json — see benchmarks/conftest.py.
+# Full benchmark suite.  Every benchmark run merges a machine-readable perf
+# trajectory (per-benchmark wall time + hot-path work counters, keyed by
+# benchmark id) into BENCH_results.json, and drops the collapsed-stack
+# profiles of the two slowest benchmarks into BENCH_profiles/ — see
+# benchmarks/conftest.py.
 bench:
 	$(PYTEST) benchmarks/ -q -s
 
 # The fast subset CI runs on every push: the end-to-end fast-path benchmark
 # (speedup + whole-catalog equivalence) plus the tracing-overhead gate
 # (<5% at sample 1.0, near-free disabled; writes a real BENCH_spans.jsonl
-# span log CI archives).  Also writes BENCH_results.json.
+# span log CI archives) and the profiling-overhead gate (<10% at 100 Hz,
+# near-free disarmed).  Also writes BENCH_results.json + BENCH_profiles/.
 bench-smoke:
 	$(PYTEST) benchmarks/test_bench_fastpath.py \
-		benchmarks/test_bench_obs_overhead.py -q -s
+		benchmarks/test_bench_obs_overhead.py \
+		benchmarks/test_bench_profile_overhead.py -q -s
 
 # Gate against the committed perf baseline (>25% regression fails).
 bench-check: bench-smoke
@@ -64,4 +68,4 @@ bench-check: bench-smoke
 
 clean:
 	rm -rf .sweep-cache .pytest_cache .benchmarks BENCH_results.json \
-		BENCH_spans.jsonl
+		BENCH_spans.jsonl BENCH_profiles

@@ -7,16 +7,29 @@ DESIGN.md, "Experiment index") and prints the reproduced rows/series so that
 Every benchmark run additionally records a machine-readable perf trajectory:
 per-benchmark wall time plus the hot-path work counters of
 :mod:`repro.perf` (simulation events dispatched, max-min allocations solved,
-probe-memo hits).  On session exit the records are written to
-``BENCH_results.json`` (path override: ``BENCH_RESULTS_PATH``); ``make
-bench`` is the entry point, and ``benchmarks/check_bench_regression.py``
-gates CI on the tracked end-to-end benchmark.
+probe-memo hits).  On session exit the records are **merged** into
+``BENCH_results.json`` (path override: ``BENCH_RESULTS_PATH``), keyed by
+benchmark id — a partial run (``pytest benchmarks/test_bench_fastpath.py``)
+refreshes only the benchmarks it ran and keeps everyone else's last
+recorded trajectory, each entry carrying the ``code_version`` it was
+measured at.  ``make bench`` is the entry point, and
+``benchmarks/check_bench_regression.py`` gates CI on the tracked
+end-to-end benchmark.
+
+Benchmarks also run under the sampling profiler
+(:mod:`repro.obs.profile`, 100 Hz): the collapsed stacks of the two
+slowest benchmarks are written to ``BENCH_profiles/`` (override:
+``BENCH_PROFILES_DIR``) so a CI wall-time regression comes with the
+flamegraph that explains it.  The ``*overhead*`` benchmarks are exempt —
+they measure the observability layer's own cost, which an armed profiler
+would perturb.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import time
 
 import pytest
@@ -25,40 +38,90 @@ from repro import perf
 from repro.core import plan_from_view
 from repro.env import map_ens_lyon
 from repro.netsim import build_ens_lyon
+from repro.obs.profile import PROFILER
 from repro.sweep import code_version
 
 _RESULTS = []
+_PROFILES = {}  # nodeid -> (wall_s, collapsed stacks text)
+
+#: Benchmarks whose nodeid matches are never profiled: they measure the
+#: tracing/profiling overhead itself.
+_NO_PROFILE = re.compile(r"overhead")
+
+_PROFILE_HZ = 100
+#: How many of the slowest benchmarks get their stacks persisted.
+_PROFILE_KEEP = 2
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    """Record wall time and work counters around every benchmark test."""
+    """Record wall time, work counters and a sample profile per benchmark."""
+    profile_it = not _NO_PROFILE.search(item.nodeid)
     before = perf.counters_snapshot()
     start = time.perf_counter()
-    yield
+    with PROFILER.maybe(profile_it, hz=_PROFILE_HZ) as capture:
+        yield
     wall_s = time.perf_counter() - start
     after = perf.counters_snapshot()
     _RESULTS.append({
         "benchmark": item.nodeid,
         "wall_s": round(wall_s, 6),
         "counters": {key: after[key] - before[key] for key in after},
+        "code_version": code_version(),
     })
+    if profile_it and capture.samples:
+        _PROFILES[item.nodeid] = (wall_s, capture.collapsed())
+
+
+def _merge_results(path: str, fresh: list) -> list:
+    """This run's records merged over the previous file's, keyed by id."""
+    merged = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        previous = {}
+    old_version = previous.get("code_version", "")
+    for record in previous.get("results", []):
+        if isinstance(record, dict) and "benchmark" in record:
+            record.setdefault("code_version", old_version)
+            merged[record["benchmark"]] = record
+    for record in fresh:
+        merged[record["benchmark"]] = record
+    return sorted(merged.values(), key=lambda r: r["benchmark"])
+
+
+def _write_profiles(directory: str) -> None:
+    """Collapsed stacks of the slowest profiled benchmarks, one file each."""
+    slowest = sorted(_PROFILES.items(), key=lambda kv: -kv[1][0])
+    os.makedirs(directory, exist_ok=True)
+    for nodeid, (wall_s, collapsed) in slowest[:_PROFILE_KEEP]:
+        name = re.sub(r"[^A-Za-z0-9_.-]+", "_",
+                      nodeid.split("::")[-1]) or "benchmark"
+        path = os.path.join(directory, f"{name}.collapsed")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"# {nodeid} wall_s={wall_s:.6f} "
+                         f"hz={_PROFILE_HZ}\n")
+            handle.write(collapsed)
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write the perf trajectory once all benchmarks have run."""
+    """Merge the perf trajectory and drop the slowest benchmarks' stacks."""
     if not _RESULTS:
         return
     path = os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json")
     payload = {
-        "schema": 1,
+        "schema": 2,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "code_version": code_version(),
-        "results": sorted(_RESULTS, key=lambda r: r["benchmark"]),
+        "results": _merge_results(path, _RESULTS),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
         handle.write("\n")
+    if _PROFILES:
+        _write_profiles(os.environ.get("BENCH_PROFILES_DIR",
+                                       "BENCH_profiles"))
 
 
 @pytest.fixture(scope="session")

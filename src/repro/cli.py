@@ -20,18 +20,24 @@ the NWS configuration, check its quality):
 * ``dynamics``  — time-varying platforms: ``list`` the dynamic scenarios,
                   ``replay`` one churn schedule epoch by epoch, or ``run``
                   the whole dynamic family through the sweep engine;
-* ``profile``   — cProfile one scenario's pipeline run (or dynamic replay)
-                  and print the top cumulative hotspots;
+* ``profile``   — profile one scenario's pipeline run (or dynamic replay):
+                  cProfile hotspots by default, ``--flame`` switches to the
+                  sampling profiler's collapsed (flamegraph-ready) stacks;
 * ``serve``     — the async results/scenario HTTP API (:mod:`repro.serve`):
                   browse the catalog, query the indexed result store, and
                   submit pipeline runs over HTTP;
 * ``trace``     — render the traces of a JSONL span log as ASCII
-                  timelines (per-stage durations, perf-counter deltas).
+                  timelines (per-stage durations, perf-counter deltas);
+* ``obs``       — trace analytics over a span log: ``report`` (per-op
+                  p50/p95/p99 + self time, critical paths, SLO verdicts)
+                  and ``diff`` (attribute the latency delta between two
+                  logs to specific ops).
 
 Every subcommand takes the observability flags ``--log-level`` (structured
 key=value logging), ``--trace-sample`` (span sampling rate; ``serve``
-defaults to 1.0, everything else to 0), ``--trace-log`` (JSONL span log)
-and ``--slow-span`` (warn threshold).
+defaults to 1.0, everything else to 0), ``--trace-log`` (JSONL span log),
+``--trace-log-max-mb`` (size-capped ``.1`` rotation) and ``--slow-span``
+(warn threshold).
 
 The platform of the single-run commands is either the paper's ENS-Lyon LAN
 (``--platform ens-lyon``, default) or a seeded synthetic constellation
@@ -42,9 +48,10 @@ registry (:mod:`repro.scenarios`).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .analysis import render_env_tree, render_plan, render_table
 from .core import plan_from_view, render_config
@@ -72,6 +79,7 @@ from .obs import (
     render_timeline,
     setup_logging,
 )
+from .obs.timeline import find_orphans
 from .pipeline import BASELINE_PLANNERS, run_pipeline
 from .scenarios import list_scenarios
 from .serve import ReproApp, catalog_json, run_server
@@ -142,6 +150,10 @@ def _add_observability_arguments(parser: argparse.ArgumentParser,
     group.add_argument("--trace-log", default=None, metavar="PATH",
                        help="append finished spans to this JSONL span log "
                             "(render with 'repro trace PATH')")
+    group.add_argument("--trace-log-max-mb", type=float, default=64.0,
+                       metavar="MB",
+                       help="rotate the span log to a .1 sibling once it "
+                            "reaches this size (0 = unbounded; default: 64)")
     group.add_argument("--slow-span", type=float, default=0.0,
                        metavar="SECONDS",
                        help="warn about spans slower than this "
@@ -333,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_arguments(p_serve, sample_default=1.0)
 
     p_profile = sub.add_parser(
-        "profile", help="cProfile one scenario run and print the hotspots")
+        "profile", help="profile one scenario run and print the hotspots")
     p_profile.add_argument("scenario",
                            help="name of a registered (static or dynamic) "
                                 "scenario")
@@ -344,6 +356,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="pstats sort order (default: cumulative)")
     p_profile.add_argument("--period", type=float, default=60.0,
                            help="target measurement period per clique (seconds)")
+    p_profile.add_argument("--flame", action="store_true",
+                           help="use the sampling profiler and print "
+                                "collapsed (flamegraph-ready) stacks instead "
+                                "of cProfile hotspots")
+    p_profile.add_argument("--flame-out", default=None, metavar="PATH",
+                           help="with --flame: write the full collapsed "
+                                "stacks to PATH (feed to flamegraph.pl)")
+    p_profile.add_argument("--hz", type=int, default=100, metavar="HZ",
+                           help="with --flame: sampling frequency "
+                                "(default: 100)")
     _add_observability_arguments(p_profile)
 
     p_trace = sub.add_parser(
@@ -355,6 +377,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--limit", type=int, default=10, metavar="N",
                          help="most recent traces to render (default: 10)")
     _add_observability_arguments(p_trace)
+
+    p_obs = sub.add_parser(
+        "obs", help="trace analytics: op latency report, critical paths, "
+                    "SLO verdicts, span-log diffs")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    o_report = obs_sub.add_parser(
+        "report", help="per-op p50/p95/p99 + self time, critical paths and "
+                       "SLO verdicts for a span log")
+    o_report.add_argument("source", metavar="SPAN_LOG",
+                          help="JSONL span log written via --trace-log")
+    o_report.add_argument("--top", type=int, default=15, metavar="N",
+                          help="op rows to print (default: 15)")
+    o_report.add_argument("--critical-paths", type=int, default=1,
+                          metavar="N",
+                          help="critical paths of the N most recent traces "
+                               "(0 disables; default: 1)")
+    o_report.add_argument("--slo", action="append", default=[],
+                          metavar="OP:MS[:TARGET]",
+                          help="grade span op OP against a latency "
+                               "threshold of MS milliseconds at TARGET "
+                               "compliance (default target 0.99); "
+                               "repeatable, replaces the built-in SLOs")
+    o_report.add_argument("--format", choices=("table", "json"),
+                          default="table",
+                          help="output format (default: table)")
+    _add_observability_arguments(o_report)
+    o_diff = obs_sub.add_parser(
+        "diff", help="attribute the latency delta between two span logs "
+                     "to specific ops")
+    o_diff.add_argument("before", metavar="BEFORE_LOG",
+                        help="baseline JSONL span log")
+    o_diff.add_argument("after", metavar="AFTER_LOG",
+                        help="candidate JSONL span log")
+    o_diff.add_argument("--top", type=int, default=15, metavar="N",
+                        help="delta rows to print (default: 15)")
+    _add_observability_arguments(o_diff)
     return parser
 
 
@@ -617,16 +675,24 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    """cProfile one pipeline run (or replay) of a registered scenario."""
-    import cProfile
-    import io
-    import pstats
+    """Profile one pipeline run (or replay) of a registered scenario.
+
+    Deterministic cProfile hotspots by default; ``--flame`` switches to
+    the sampling profiler (:mod:`repro.obs.profile`) and prints collapsed
+    flamegraph-ready stacks instead.
+    """
     import time
 
     from .dynamics import DynamicScenario
     from .scenarios import get_scenario
 
     scenario = get_scenario(args.scenario)
+    if args.flame:
+        return _profile_flame(args, scenario)
+    import cProfile
+    import io
+    import pstats
+
     profiler = cProfile.Profile()
     start = time.perf_counter()
     profiler.enable()
@@ -647,11 +713,70 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_flame(args: argparse.Namespace, scenario) -> int:
+    """The ``--flame`` arm of ``repro profile``: sample, collapse, print."""
+    import time
+
+    from .dynamics import DynamicScenario
+    from .obs.profile import PROFILER
+
+    start = time.perf_counter()
+    with PROFILER.profiled(hz=args.hz) as capture:
+        if isinstance(scenario, DynamicScenario):
+            run_replay(scenario, period_s=args.period)
+            kind = "dynamic replay"
+        else:
+            run_pipeline(scenario.build(), period_s=args.period)
+            kind = "pipeline run"
+    elapsed = time.perf_counter() - start
+    collapsed = capture.collapsed()
+    print(f"profiled one {kind} of {scenario.name} in {elapsed:.3f}s: "
+          f"{capture.samples} samples at {args.hz} Hz "
+          f"({PROFILER.mode or 'signal'} backend)")
+    if args.flame_out:
+        with open(args.flame_out, "w", encoding="utf-8") as handle:
+            handle.write(collapsed)
+        print(f"collapsed stacks written to {args.flame_out} "
+              f"(feed to flamegraph.pl)")
+    lines = collapsed.splitlines()
+    shown = lines[:args.top]
+    if shown:
+        print(f"top {len(shown)} stacks (of {len(lines)}):")
+        for line in shown:
+            print(f"  {line}")
+    else:
+        print("no samples captured (run too short? raise --hz or --period)")
+    return 0
+
+
+def _load_spans_or_fail(path: str) -> Optional[List[Dict[str, object]]]:
+    """Load a span log for an analysis command; ``None`` means *already
+    diagnosed* — the caller just exits 1.
+
+    A missing or empty span log is an operator mistake (wrong path, or the
+    traced run never sampled), not an internal error, so it gets a pointed
+    diagnostic and exit 1 rather than the generic ``error:`` exit 2.
+    """
+    try:
+        spans = load_span_log(path)
+    except OSError as exc:
+        print(f"cannot read span log {path!r}: {exc}\n"
+              f"(produce one with: repro <command> --trace-sample 1.0 "
+              f"--trace-log {path})", file=sys.stderr)
+        return None
+    if not spans:
+        print(f"no spans in {path}: the log exists but holds no span "
+              f"records\n(was the producing run started with "
+              f"--trace-sample 0? rerun with --trace-sample 1.0)",
+              file=sys.stderr)
+        return None
+    return spans
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Render the traces of a JSONL span log as ASCII timelines."""
-    spans = load_span_log(args.source)
-    if not spans:
-        print(f"no spans in {args.source}", file=sys.stderr)
+    spans = _load_spans_or_fail(args.source)
+    if spans is None:
         return 1
     if args.trace_id is not None:
         selected = [s for s in spans if s.get("trace_id") == args.trace_id]
@@ -660,6 +785,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         print(render_timeline(selected, trace_id=args.trace_id))
+        orphans = find_orphans(selected)
+        if orphans:
+            print(f"warning: {len(orphans)} orphaned span(s) in trace "
+                  f"{args.trace_id}: parents missing from the log (ring "
+                  f"buffer wrapped, unshipped worker spans, or mid-trace "
+                  f"rotation)", file=sys.stderr)
+            return 1
         return 0
     if args.limit < 1:
         raise ValueError("--limit must be >= 1")
@@ -672,6 +804,136 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if len(groups) > len(shown):
         print(f"\n({len(groups) - len(shown)} older trace(s) not shown; "
               f"raise --limit or pass --trace-id)")
+    orphans = find_orphans(spans)
+    if orphans:
+        names = sorted({str(s.get("name", "?")) for s in orphans})
+        print(f"warning: {len(orphans)} orphaned span(s) reference parents "
+              f"missing from {args.source} (ops: {', '.join(names[:5])}): "
+              f"the log is incomplete — the ring buffer wrapped, a worker's "
+              f"spans were never shipped, or the log rotated mid-trace",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _parse_slo_spec(spec: str):
+    """``OP:MS[:TARGET]`` → an :class:`~repro.obs.slo.SLO` over span op OP."""
+    from .obs.slo import SLO
+
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"bad --slo spec {spec!r}: expected OP:MS[:TARGET]")
+    op = parts[0].strip()
+    if not op:
+        raise ValueError(f"bad --slo spec {spec!r}: empty op")
+    threshold_ms = float(parts[1])
+    target = float(parts[2]) if len(parts) == 3 else 0.99
+    if threshold_ms <= 0:
+        raise ValueError(f"bad --slo spec {spec!r}: MS must be positive")
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"bad --slo spec {spec!r}: TARGET must be in (0, 1)")
+    return SLO(name=f"{op}-latency", kind="latency", target=target,
+               threshold_s=threshold_ms / 1e3, span_op=op,
+               description=f"{op} under {threshold_ms:g} ms "
+                           f"for {target:.2%} of spans")
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Trace analytics over span logs: ``report`` and ``diff``."""
+    from .obs.analyze import aggregate_ops, critical_path, diff_traces
+    from .obs.slo import DEFAULT_SLOS, evaluate_spans
+
+    if args.top < 1:
+        raise ValueError("--top must be >= 1")
+
+    if args.obs_command == "diff":
+        before = _load_spans_or_fail(args.before)
+        if before is None:
+            return 1
+        after = _load_spans_or_fail(args.after)
+        if after is None:
+            return 1
+        rows = diff_traces(before, after)[:args.top]
+        print(f"op latency deltas — {args.before} ({len(before)} spans) → "
+              f"{args.after} ({len(after)} spans); positive delta = slower "
+              f"in after:")
+        print(render_table([{
+            "op": r["op"],
+            "before n": r["before_count"],
+            "after n": r["after_count"],
+            "before total": f"{r['before_total_s'] * 1e3:.1f}ms",
+            "after total": f"{r['after_total_s'] * 1e3:.1f}ms",
+            "delta": f"{r['delta_s'] * 1e3:+.1f}ms",
+            "delta self": f"{r['delta_self_s'] * 1e3:+.1f}ms",
+        } for r in rows]))
+        return 0
+
+    spans = _load_spans_or_fail(args.source)
+    if spans is None:
+        return 1
+    if args.critical_paths < 0:
+        raise ValueError("--critical-paths must be >= 0")
+
+    op_rows = aggregate_ops(spans)
+    groups = group_traces(spans)
+    slos = [_parse_slo_spec(spec) for spec in args.slo] or \
+        [s for s in DEFAULT_SLOS if s.span_op is not None]
+    verdicts = evaluate_spans(slos, spans)
+
+    recent = (list(groups)[-args.critical_paths:]
+              if args.critical_paths else [])
+
+    if args.format == "json":
+        paths = {tid: critical_path(groups[tid]) for tid in recent}
+        print(json.dumps({"spans": len(spans), "traces": len(groups),
+                          "ops": op_rows, "critical_paths": paths,
+                          "slo": verdicts}, indent=2, sort_keys=True))
+        return 1 if verdicts.get("status") == "breach" else 0
+
+    print(f"{args.source}: {len(spans)} spans across {len(groups)} "
+          f"trace(s)\n")
+    print(f"per-op latency (top {min(args.top, len(op_rows))} "
+          f"of {len(op_rows)} by total time):")
+    print(render_table([{
+        "op": r["op"],
+        "count": r["count"],
+        "errors": r["errors"],
+        "total": f"{r['total_s'] * 1e3:.1f}ms",
+        "self": f"{r['self_s'] * 1e3:.1f}ms",
+        "p50": f"{r['p50_s'] * 1e3:.1f}ms",
+        "p95": f"{r['p95_s'] * 1e3:.1f}ms",
+        "p99": f"{r['p99_s'] * 1e3:.1f}ms",
+        "max": f"{r['max_s'] * 1e3:.1f}ms",
+    } for r in op_rows[:args.top]]))
+
+    for trace_id in recent:
+        steps = critical_path(groups[trace_id])
+        total = sum(step["self_s"] for step in steps)
+        print(f"\ncritical path of trace {trace_id} "
+              f"({total * 1e3:.1f} ms on-path):")
+        for step in steps:
+            indent = "  " * step["depth"]
+            print(f"  {indent}{step['name']}: "
+                  f"{step['duration_s'] * 1e3:.1f}ms "
+                  f"(self {step['self_s'] * 1e3:.1f}ms)")
+
+    print(f"\nSLO verdicts ({len(verdicts['slos'])} objectives, "
+          f"overall: {verdicts['status']}):")
+    print(render_table([{
+        "slo": v["name"],
+        "status": v["status"],
+        "compliance": "n/a" if v["compliance"] is None
+        else f"{v['compliance']:.4f}",
+        "target": f"{v['objective']['target']:.4f}",
+        "burn": "n/a" if v["burn_rate"] is None
+        else f"{v['burn_rate']:.2f}",
+        "spans": v["total"],
+        "objective": v["description"] or v["name"],
+    } for v in verdicts["slos"]]))
+    if verdicts["status"] == "breach":
+        print("\nSLO breach: at least one objective is out of budget "
+              "(see burn column)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -731,13 +993,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "trace": _cmd_trace,
+        "obs": _cmd_obs,
     }
     _load_recorded_imports(args.command)
     try:
         setup_logging(args.log_level)
         TRACER.configure(sample_rate=args.trace_sample,
                          log_path=args.trace_log,
-                         slow_span_s=args.slow_span)
+                         slow_span_s=args.slow_span,
+                         log_max_bytes=int(args.trace_log_max_mb * 1024
+                                           * 1024))
         # One root span per invocation: the layers below (pipeline stages,
         # mapper phases, replay epochs, sweep workers) parent under it.
         # ``serve`` roots its own per-request traces instead, and the

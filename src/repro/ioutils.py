@@ -5,19 +5,70 @@ from __future__ import annotations
 import os
 import tempfile
 
-__all__ = ["write_atomic", "append_line"]
+try:
+    import fcntl
+except ImportError:                  # non-POSIX: rotation runs unserialised
+    fcntl = None
+
+__all__ = ["write_atomic", "append_line", "rotate_if_needed"]
 
 
-def append_line(path: str, text: str) -> None:
+def rotate_if_needed(path: str, max_bytes: int) -> bool:
+    """Rotate ``path`` to ``path + ".1"`` once it reaches ``max_bytes``.
+
+    Cross-process safe: concurrent appenders (two sweep CLIs sharing one
+    span log, a CLI next to a server) race to rotate the same file, and an
+    unserialised double rotation would rename a *fresh, near-empty* log
+    over the just-written ``.1``, silently discarding its records.  The
+    rename is therefore serialised through an ``flock`` on a sidecar
+    ``path + ".lock"`` file, and the size is re-checked under the lock —
+    the loser of the race sees the freshly rotated (small) file and does
+    nothing.  Returns whether *this* call performed the rotation.
+    """
+    if max_bytes <= 0:
+        return False
+    try:
+        if os.path.getsize(path) < max_bytes:
+            return False
+    except OSError:
+        return False
+    try:
+        lock = open(path + ".lock", "ab")
+    except OSError:
+        lock = None
+    try:
+        if lock is not None and fcntl is not None:
+            fcntl.flock(lock, fcntl.LOCK_EX)
+        try:
+            if os.path.getsize(path) < max_bytes:
+                return False                 # lost the race: already rotated
+            os.replace(path, path + ".1")
+            return True
+        except OSError:
+            return False
+    finally:
+        if lock is not None:
+            lock.close()                     # closing releases the flock
+
+
+def append_line(path: str, text: str,
+                rotate_at: int = 0) -> None:
     """Append ``text`` (one or more full lines) in a single ``O_APPEND`` write.
 
     The whole payload goes down in one unbuffered write, so concurrent
     appenders — two processes sharing a span log, a sweep CLI next to a
     running server — interleave only at line boundaries, never inside one
     (the same discipline as the sweep result store's ``append_jsonl``).
+
+    A non-zero ``rotate_at`` size-caps the file via
+    :func:`rotate_if_needed` before the write; a writer racing the
+    rotation lands its line in either the old or the new file, always
+    whole.
     """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
+    if rotate_at:
+        rotate_if_needed(path, rotate_at)
     with open(path, "ab", buffering=0) as handle:
         handle.write(text.encode("utf-8"))
 

@@ -10,11 +10,22 @@ Three pillars, one import surface:
 * :func:`setup_logging` / :func:`get_logger` (:mod:`repro.obs.logs`) —
   ``key=value`` structured logs on the stdlib :mod:`logging` package.
 
+On top of the raw telemetry, the analysis layer:
+
+* :data:`PROFILER` (:mod:`repro.obs.profile`) — a statistical sampling
+  profiler (``SIGPROF``/``setitimer`` with a thread-sampler fallback)
+  emitting collapsed, flamegraph-compatible stacks.
+* :mod:`repro.obs.analyze` — per-op latency aggregation (p50/p95/p99,
+  self vs child time), critical-path extraction, trace diffing.
+* :mod:`repro.obs.slo` — declarative latency/error-rate objectives with
+  burn-rate computation and machine-readable verdicts.
+
 See README.md, "Observability".
 """
 
 from __future__ import annotations
 
+from .analyze import aggregate_ops, critical_path, diff_traces, percentile
 from .logs import get_logger, kv, setup_logging, to_json_line
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -23,6 +34,8 @@ from .metrics import (
     REGISTRY,
     register_perf_counters,
 )
+from .profile import PROFILER, Profiler, collapse
+from .slo import DEFAULT_SLOS, SLO, SLOEngine, evaluate_spans
 from .timeline import group_traces, load_span_log, render_timeline
 from .trace import NULL_SPAN, Span, TRACER, Tracer
 
@@ -30,6 +43,9 @@ __all__ = [
     "TRACER", "Tracer", "Span", "NULL_SPAN",
     "REGISTRY", "MetricsRegistry", "Metric", "DEFAULT_BUCKETS",
     "register_perf_counters",
+    "PROFILER", "Profiler", "collapse",
+    "aggregate_ops", "critical_path", "diff_traces", "percentile",
+    "SLO", "SLOEngine", "DEFAULT_SLOS", "evaluate_spans",
     "setup_logging", "get_logger", "kv", "to_json_line",
     "render_timeline", "load_span_log", "group_traces",
 ]

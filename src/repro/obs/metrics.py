@@ -227,6 +227,21 @@ class MetricsRegistry:
             self._metrics.clear()
         register_perf_counters(self)
 
+    def zero(self) -> None:
+        """Zero every series in place, keeping registrations and callbacks.
+
+        Unlike :meth:`reset`, handles held by call sites (module-level
+        counters, bound series) stay live — test hook for isolating
+        accumulated values without re-registering instruments.
+        """
+        with self._lock:
+            for metric in self._metrics.values():
+                for series in metric._series.values():
+                    series.value = 0.0
+                    series.bucket_counts = [0] * len(series.bucket_counts)
+                    series.sum = 0.0
+                    series.count = 0
+
     # -- scraping ------------------------------------------------------------
 
     def _collect(self) -> List[Tuple[Metric, List[Tuple[Tuple[str, ...],

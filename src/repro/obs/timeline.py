@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Sequence
 
 from .logs import kv
 
-__all__ = ["render_timeline", "load_span_log", "group_traces"]
+__all__ = ["render_timeline", "load_span_log", "group_traces",
+           "find_orphans"]
 
 _BAR_WIDTH = 28
 
@@ -60,6 +61,22 @@ def group_traces(spans: Sequence[Dict[str, object]]
                      key=lambda item: min(s.get("start_ts", 0.0)
                                           for s in item[1]))
     return dict(ordered)
+
+
+def find_orphans(spans: Sequence[Dict[str, object]]
+                 ) -> List[Dict[str, object]]:
+    """Spans whose recorded parent is missing from the span set.
+
+    Orphans mean the log is incomplete: the parent fell out of the ring
+    buffer, lives in a process whose spans were never shipped home, or the
+    log rotated mid-trace.  ``repro trace`` turns a non-empty result into
+    a diagnostic (and a non-zero exit) so truncated timelines are never
+    mistaken for complete ones.
+    """
+    ids = {s.get("span_id") for s in spans}
+    return [s for s in spans
+            if s.get("parent_id") is not None
+            and s.get("parent_id") not in ids]
 
 
 def _attr_summary(attrs: Dict[str, object], limit: int = 4) -> str:
@@ -126,6 +143,9 @@ def render_timeline(spans: Sequence[Dict[str, object]],
         summary = _attr_summary(span.get("attrs") or {})
         if summary:
             line += f"  {summary}"
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            line += f"  [orphan: parent {str(parent)[:16]} not in log]"
         lines.append(line.rstrip())
         for child in children.get(span.get("span_id"), []):
             emit(child, depth + 1)

@@ -173,15 +173,21 @@ class Tracer:
         self._random = random.Random()
         self.sample_rate = 0.0
         self.log_path: Optional[str] = None
+        #: Size cap for the span log; once reached the log rotates to a
+        #: ``.1`` sibling (see :func:`repro.ioutils.rotate_if_needed`).
+        #: ``0`` = unbounded.
+        self.log_max_bytes = 0
         self.slow_span_s: Optional[float] = None
         self.log_errors = 0
+        self._recorded = 0
 
     # -- configuration -------------------------------------------------------
 
     def configure(self, sample_rate: Optional[float] = None,
                   log_path: Optional[str] = None,
                   slow_span_s: Optional[float] = None,
-                  capacity: Optional[int] = None) -> None:
+                  capacity: Optional[int] = None,
+                  log_max_bytes: Optional[int] = None) -> None:
         """Set any subset of the tracer's knobs (``None`` = leave as is)."""
         with self._lock:
             if sample_rate is not None:
@@ -194,6 +200,8 @@ class Tracer:
                 self.slow_span_s = slow_span_s if slow_span_s > 0 else None
             if capacity is not None:
                 self._ring = deque(self._ring, maxlen=max(1, capacity))
+            if log_max_bytes is not None:
+                self.log_max_bytes = max(0, log_max_bytes)
 
     def reset(self) -> None:
         """Back to defaults (disabled, empty ring) — test isolation hook."""
@@ -201,6 +209,7 @@ class Tracer:
             self._ring = deque(maxlen=self.DEFAULT_CAPACITY)
             self.sample_rate = 0.0
             self.log_path = None
+            self.log_max_bytes = 0
             self.slow_span_s = None
             self.log_errors = 0
 
@@ -271,15 +280,18 @@ class Tracer:
     def _record(self, span: Dict[str, object]) -> None:
         with self._lock:
             self._ring.append(span)
+            self._recorded += 1
             captures = getattr(self._local, "captures", None)
             if captures:
                 for capture in captures:
                     capture.spans.append(span)
             log_path = self.log_path
+            log_max = self.log_max_bytes
             slow_s = self.slow_span_s
         if log_path is not None:
             try:
-                append_line(log_path, to_json_line(span))
+                append_line(log_path, to_json_line(span),
+                            rotate_at=log_max)
             except OSError:
                 self.log_errors += 1
         if slow_s is not None and span["duration_s"] >= slow_s:
@@ -324,6 +336,14 @@ class Tracer:
         """A snapshot of the whole ring buffer (oldest first)."""
         with self._lock:
             return list(self._ring)
+
+    def state_token(self) -> str:
+        """Changes whenever a span lands — the ``/analyze`` ETag seed.
+
+        Monotonic (unlike ``len()``, which plateaus once the ring wraps).
+        """
+        with self._lock:
+            return str(self._recorded)
 
     def __len__(self) -> int:
         with self._lock:

@@ -174,7 +174,10 @@ def run_pipeline(platform: Platform,
         with TRACER.span("pipeline.evaluate", baselines=len(baselines)):
             plans = {"env": plan}
             for name in baselines:
-                plans[name] = BASELINE_PLANNERS[name](platform, hosts)
+                # One child span per baseline planner, so trace analytics
+                # can attribute evaluate-stage time to a specific planner.
+                with TRACER.span("pipeline.baseline", planner=name):
+                    plans[name] = BASELINE_PLANNERS[name](platform, hosts)
             reports = compare_plans(plans, platform)
         timings["quality"] = time.perf_counter() - start
         _STAGE_SECONDS.labels(stage="quality").observe(timings["quality"])

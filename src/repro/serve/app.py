@@ -32,6 +32,24 @@ Endpoints (all JSON):
     Every buffered span of one trace (see ``X-Repro-Trace-Id``), ordered
     by start time.  Pool-worker spans appear once their job's result has
     been ingested.
+``GET /profile``
+    The process-wide sampling profiler's aggregate as collapsed stacks
+    (``flamegraph.pl``-ready ``text/plain``; ``?format=json`` for the raw
+    ``{stack: count}`` map).  Profiles arrive via the ``X-Repro-Profile``
+    request header — on any request it samples the serving process for
+    the request's duration; on ``POST /runs`` it additionally arms the
+    *pool worker* for the job, whose stacks ship home over the result
+    channel.  A numeric header value picks the sampling rate in Hz.
+``GET /analyze/ops``
+    Per-op latency aggregates (count, errors, total/self time,
+    p50/p95/p99/max) over the span ring buffer.
+``GET /analyze/critical-path/{trace_id}``
+    The chain of spans that determined one trace's wall time, with each
+    step's own contribution (see :func:`repro.obs.analyze.critical_path`).
+``GET /slo``
+    Machine-readable verdicts of the declarative latency/error-budget
+    objectives (:mod:`repro.obs.slo`), with burn rates for the window
+    since the previous evaluation.
 
 Tracing: each request runs under a ``serve.request`` root span.  A client
 ``X-Repro-Trace-Id`` header forces sampling and names the trace; sampled
@@ -53,8 +71,11 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from .. import perf
+from ..obs.analyze import aggregate_ops, critical_path
 from ..obs.logs import get_logger, kv
 from ..obs.metrics import REGISTRY
+from ..obs.profile import MAX_HZ, PROFILER
+from ..obs.slo import SLOEngine
 from ..obs.trace import TRACER
 from ..pipeline import BASELINE_PLANNERS
 from ..scenarios.registry import get_scenario, list_scenarios
@@ -70,6 +91,7 @@ __all__ = ["ReproApp", "LRUCache"]
 _RUN_ROUTE = re.compile(r"^/runs/([^/]+)(/cancel)?$")
 _LATEST_ROUTE = re.compile(r"^/results/([^/]+)/latest$")
 _TRACE_ROUTE = re.compile(r"^/trace/([^/]+)$")
+_CRITICAL_PATH_ROUTE = re.compile(r"^/analyze/critical-path/([^/]+)$")
 
 _LOG = get_logger("serve.access")
 
@@ -80,11 +102,19 @@ _REQUEST_SECONDS = REGISTRY.histogram(
     "HTTP request wall-clock seconds per route",
     labels=("route",))
 
+#: Responses by status *class* ("2xx".."5xx" — five possible series, never
+#: per raw status): the availability SLO's good/bad event source.
+_RESPONSES_TOTAL = REGISTRY.counter(
+    "repro_http_responses_total",
+    "HTTP responses per status class",
+    labels=("code",))
+
 
 def _route_label(path: str) -> str:
     """The bounded route pattern a request path belongs to."""
     path = path.rstrip("/") or "/"
-    if path in ("/healthz", "/metrics", "/scenarios", "/results", "/runs"):
+    if path in ("/healthz", "/metrics", "/scenarios", "/results", "/runs",
+                "/profile", "/slo", "/analyze/ops"):
         return path
     if _LATEST_ROUTE.match(path):
         return "/results/{scenario}/latest"
@@ -92,7 +122,24 @@ def _route_label(path: str) -> str:
         return "/runs/{id}"
     if _TRACE_ROUTE.match(path):
         return "/trace/{id}"
+    if _CRITICAL_PATH_ROUTE.match(path):
+        return "/analyze/critical-path/{id}"
     return "other"
+
+
+def _profile_hz(request: Request) -> int:
+    """The sampling rate an ``X-Repro-Profile`` header asks for (0 = none).
+
+    Any truthy value arms the profiler at its default rate; a numeric
+    value picks the rate in Hz (clamped to the profiler's bounds).
+    """
+    raw = (request.headers.get("x-repro-profile") or "").strip()
+    if not raw or raw.lower() in ("0", "false", "no", "off"):
+        return 0
+    try:
+        return max(1, min(MAX_HZ, int(raw)))
+    except ValueError:
+        return PROFILER.hz
 
 #: Most filtered result pages a single response will carry unless the
 #: client asks for fewer.
@@ -194,6 +241,7 @@ class ReproApp:
         REGISTRY.gauge("repro_response_cache_entries",
                        "rendered response bodies held in the LRU",
                        fn=lambda: len(self.cache))
+        self.slo_engine = SLOEngine()
 
     # -- plumbing -----------------------------------------------------------
 
@@ -209,10 +257,12 @@ class ReproApp:
         """Dispatch one request (the :func:`serve_http` handler)."""
         self.requests_total += 1
         t0 = time.perf_counter()
+        profile_hz = _profile_hz(request)
         with TRACER.start_trace(
                 "serve.request",
                 trace_id=request.headers.get("x-repro-trace-id"),
-                method=request.method, path=request.path) as span:
+                method=request.method, path=request.path) as span, \
+                PROFILER.maybe(bool(profile_hz), hz=profile_hz):
             try:
                 response = await self._route(request)
             except HTTPError as exc:
@@ -232,6 +282,7 @@ class ReproApp:
         duration_s = time.perf_counter() - t0
         _REQUEST_SECONDS.labels(
             route=_route_label(request.path)).observe(duration_s)
+        _RESPONSES_TOTAL.labels(code=f"{response.status // 100}xx").inc()
         self.responses_by_status[response.status] = \
             self.responses_by_status.get(response.status, 0) + 1
         _LOG.info("event=access %s", kv(
@@ -264,6 +315,15 @@ class ReproApp:
         match = _TRACE_ROUTE.match(path)
         if match:
             return self._trace(method, match.group(1))
+        if path == "/profile":
+            return self._profile(request, method)
+        if path == "/analyze/ops":
+            return self._analyze_ops(request, method)
+        match = _CRITICAL_PATH_ROUTE.match(path)
+        if match:
+            return self._critical_path(request, method, match.group(1))
+        if path == "/slo":
+            return self._slo(method)
         raise HTTPError(404, f"no such endpoint: {request.path}")
 
     @staticmethod
@@ -485,10 +545,12 @@ class ReproApp:
         try:
             # The ambient context is the request's serve.request span; the
             # job (and its pool worker) parent their spans under it long
-            # after this handler has returned its 202.
+            # after this handler has returned its 202.  An X-Repro-Profile
+            # header arms the pool worker's sampling profiler for the job.
             job = self.jobs.submit(scenario, period_s=float(period_s),
                                    baselines=tuple(baselines), rerun=rerun,
-                                   trace_ctx=TRACER.current_context())
+                                   trace_ctx=TRACER.current_context(),
+                                   profile_hz=_profile_hz(request))
         except QueueFull as exc:
             raise HTTPError(503, str(exc))
         return json_response(job.as_payload(), status=202,
@@ -525,3 +587,82 @@ class ReproApp:
             "count": len(spans),
             "spans": spans,
         })
+
+    def _profile(self, request: Request, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        fmt = request.query.get("format", "collapsed")
+        if fmt not in ("collapsed", "json"):
+            raise HTTPError(400, "query parameter 'format' must be "
+                                 "'collapsed' or 'json'")
+        # The state token covers every sample (local and ingested), so a
+        # profiled job completing invalidates the tag.
+        etag = f'"profile-{PROFILER.state_token()}-{fmt}"'
+        if fmt == "json":
+            def render() -> bytes:
+                stacks = PROFILER.stacks()
+                return json_response({
+                    "samples": sum(stacks.values()),
+                    "armed": PROFILER.armed,
+                    "mode": PROFILER.mode,
+                    "hz": PROFILER.hz,
+                    "stacks": stacks,
+                }).body
+            return self._conditional(request, etag, render,
+                                     ("profile", "json"))
+
+        def render() -> bytes:
+            return PROFILER.collapsed_text().encode("utf-8")
+
+        response = self._conditional(request, etag, render,
+                                     ("profile", "collapsed"))
+        response.content_type = "text/plain; charset=utf-8"
+        return response
+
+    def _analyze_ops(self, request: Request, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        op_filter = request.query.get("op")
+        etag = (f'"ops-{TRACER.state_token()}-'
+                f'{hashlib.sha256(repr(op_filter).encode()).hexdigest()[:8]}"')
+
+        def render() -> bytes:
+            spans = TRACER.spans()
+            rows = aggregate_ops(spans)
+            if op_filter:
+                rows = [row for row in rows if op_filter in row["op"]]
+            return json_response({
+                "spans": len(spans),
+                "ops": rows,
+            }).body
+
+        return self._conditional(request, etag, render,
+                                 ("analyze-ops", op_filter))
+
+    def _critical_path(self, request: Request, method: str,
+                       trace_id: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        # The tag folds the ring state in: a worker's spans being ingested
+        # after the job finishes changes the path of the same trace id.
+        etag = f'"cpath-{trace_id}-{TRACER.state_token()}"'
+        spans = TRACER.trace(trace_id)
+        if not spans:
+            raise HTTPError(404, f"no buffered spans for trace "
+                                 f"{trace_id!r}")
+
+        def render() -> bytes:
+            steps = critical_path(spans)
+            return json_response({
+                "trace_id": trace_id,
+                "span_count": len(spans),
+                "total_s": steps[0]["duration_s"] if steps else 0.0,
+                "steps": steps,
+            }).body
+
+        return self._conditional(request, etag, render,
+                                 ("critical-path", trace_id))
+
+    def _slo(self, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        # A live evaluation (like /metrics, /healthz): every call grades
+        # the current tallies and advances the burn-rate window, so the
+        # body is never cacheable.
+        return json_response(self.slo_engine.evaluate())

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.metrics import REGISTRY
+from ..obs.profile import PROFILER
 from ..obs.trace import TRACER
 from ..perf import COUNTERS
 from ..sweep.results import SweepRecord
@@ -81,6 +82,13 @@ class Job:
     #: trace): the queue-wait/job spans parent under it and the pool worker
     #: adopts it.
     trace_ctx: Optional[Dict[str, str]] = None
+    #: Non-zero (an ``X-Repro-Profile`` header) arms the pool worker's
+    #: sampling profiler for this job; its collapsed stacks are folded into
+    #: the process-wide profiler (``GET /profile``) on completion.
+    profile_hz: int = 0
+    #: How many profiler samples the worker shipped back (``None`` until a
+    #: profiled job finishes).
+    profile_samples: Optional[int] = None
 
     @property
     def trace_id(self) -> Optional[str]:
@@ -105,6 +113,8 @@ class Job:
             "finished_at": self.finished_at,
             "error": self.error,
             "trace_id": self.trace_id,
+            "profile_hz": self.profile_hz,
+            "profile_samples": self.profile_samples,
         }
         if self.record is not None:
             payload["record"] = {
@@ -172,13 +182,15 @@ class JobQueue:
     def submit(self, scenario: str, period_s: float = 60.0,
                baselines: Tuple[str, ...] = DEFAULT_BASELINES,
                rerun: bool = False,
-               trace_ctx: Optional[Dict[str, str]] = None) -> Job:
+               trace_ctx: Optional[Dict[str, str]] = None,
+               profile_hz: int = 0) -> Job:
         """Enqueue one run; raises :class:`QueueFull` at capacity."""
         if self.pending() >= self.maxsize:
             raise QueueFull(f"job queue is full ({self.maxsize} pending)")
         job = Job(id=f"job-{next(self._ids)}", scenario=scenario,
                   period_s=float(period_s), baselines=tuple(baselines),
-                  rerun=bool(rerun), trace_ctx=trace_ctx)
+                  rerun=bool(rerun), trace_ctx=trace_ctx,
+                  profile_hz=max(0, int(profile_hz)))
         self._jobs[job.id] = job
         self._order.append(job.id)
         self._queue.put_nowait(job.id)
@@ -258,7 +270,9 @@ class JobQueue:
         TRACER.record_external("serve.queue_wait", job.trace_ctx,
                                start_ts=job.submitted_at, duration_s=wait_s,
                                job=job.id)
-        if not job.rerun:
+        # A profiled job must actually run the pipeline: a cache hit would
+        # return a record without ever sampling a frame.
+        if not job.rerun and not job.profile_hz:
             cached = load_cached_record(self.cache_dir, job.scenario,
                                         period_s=job.period_s,
                                         baselines=job.baselines)
@@ -274,7 +288,8 @@ class JobQueue:
         async_result = submit_scenario(job.scenario, self.pool_processes,
                                        period_s=job.period_s,
                                        baselines=job.baselines,
-                                       trace_ctx=job.trace_ctx)
+                                       trace_ctx=job.trace_ctx,
+                                       profile_hz=job.profile_hz)
         deadline = time.monotonic() + self.timeout_s
         while not async_result.ready():
             # A timed-out or cancelled job surfaces immediately, but the
@@ -292,14 +307,17 @@ class JobQueue:
             await asyncio.sleep(_POLL_INTERVAL_S)
         if job.done:                        # timed out / cancelled: discard
             return
-        record, counter_deltas, worker_spans = async_result.get()
+        record, counter_deltas, worker_spans, profile = async_result.get()
         # Pipeline work happened in a pool worker whose perf counters and
         # span ring are invisible here; fold the deltas in (atomically) so
-        # /metrics in this process reflects the work its jobs caused, and
+        # /metrics in this process reflects the work its jobs caused,
         # ingest the worker's spans so GET /trace/{id} shows its pipeline
-        # stages.
+        # stages, and fold any shipped profile into the process-wide
+        # profiler so GET /profile shows the worker's hot frames.
         COUNTERS.add(**counter_deltas)
         TRACER.ingest(worker_spans)
+        if profile is not None:
+            job.profile_samples = PROFILER.ingest(profile)
         store_record(self.cache_dir, record, period_s=job.period_s,
                      baselines=job.baselines, out_path=self.out_path)
         self._finish(job, "ok" if record.ok else "error", record=record)

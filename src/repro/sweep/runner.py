@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis import render_table
 from ..dynamics import DynamicScenario, run_replay
 from ..ioutils import write_atomic
+from ..obs.profile import PROFILER
 from ..obs.trace import TRACER
 from ..perf import counters_snapshot, fast_path_enabled, set_fast_path
 from ..pipeline import run_pipeline
@@ -69,6 +70,10 @@ class TaskContext:
 
     fast_path: bool = True
     trace: Optional[Dict[str, str]] = None
+    #: Non-zero arms the worker's sampling profiler at this rate for the
+    #: task; its collapsed stacks ride the result channel home (see
+    #: :func:`_worker_with_counters`).
+    profile_hz: int = 0
 
     @classmethod
     def current(cls) -> "TaskContext":
@@ -191,7 +196,8 @@ def _worker(args: Tuple[Scenario, float, Tuple[str, ...], TaskContext]
 def _worker_with_counters(args: Tuple[Scenario, float, Tuple[str, ...],
                                       TaskContext]
                           ) -> Tuple[SweepRecord, Dict[str, int],
-                                     List[Dict[str, object]]]:
+                                     List[Dict[str, object]],
+                                     Optional[Dict[str, object]]]:
     """Like :func:`_worker`, but ships the task's observability payload too.
 
     ``repro.perf.COUNTERS`` and the span ring buffer are per-process, so
@@ -202,13 +208,21 @@ def _worker_with_counters(args: Tuple[Scenario, float, Tuple[str, ...],
     pipeline stages).  A pool worker runs one task at a time, so the
     before/after counter difference — and the captured span set — is
     exactly this task's work.
+
+    With ``context.profile_hz`` set, the task additionally runs under the
+    worker's sampling profiler; the fourth element of the return tuple is
+    the shipped profile payload (``None`` when unprofiled), which the
+    submitter folds into its own :data:`~repro.obs.profile.PROFILER`.
     """
+    context = args[3]
     before = counters_snapshot()
-    with TRACER.capture() as captured:
+    with TRACER.capture() as captured, \
+            PROFILER.maybe(bool(context.profile_hz),
+                           hz=context.profile_hz) as profile:
         record = _worker(args)
     after = counters_snapshot()
     deltas = {name: after[name] - before[name] for name in after}
-    return record, deltas, captured.spans
+    return record, deltas, captured.spans, profile.as_payload()
 
 
 # -- persistent warm worker pool ---------------------------------------------
@@ -326,6 +340,7 @@ def submit_scenario(scenario_name: str, processes: int,
                     period_s: float = 60.0,
                     baselines: Sequence[str] = DEFAULT_BASELINES,
                     trace_ctx: Optional[Dict[str, str]] = None,
+                    profile_hz: int = 0,
                     ) -> "multiprocessing.pool.AsyncResult":
     """Dispatch one scenario run onto the shared warm pool, asynchronously.
 
@@ -334,8 +349,9 @@ def submit_scenario(scenario_name: str, processes: int,
     per process, never a second one — and the caller polls the returned
     :class:`~multiprocessing.pool.AsyncResult` without blocking an event
     loop.  The worker never raises; failures come back as error records.
-    The async result yields ``(record, perf-counter deltas, spans)`` so the
-    caller can account the worker's pipeline work — and its trace — in its
+    The async result yields ``(record, perf-counter deltas, spans,
+    profile)`` so the caller can account the worker's pipeline work — and
+    its trace, and (with ``profile_hz`` set) its sampled stacks — in its
     own process.  ``trace_ctx`` overrides the submitter's ambient trace
     context (the serving layer captures it on the request thread, before the
     job reaches the dispatcher).
@@ -343,7 +359,8 @@ def submit_scenario(scenario_name: str, processes: int,
     scenario = get_scenario(scenario_name)
     pool = _warm_pool(max(1, processes))
     context = TaskContext(fast_path=fast_path_enabled(),
-                          trace=trace_ctx or TRACER.current_context())
+                          trace=trace_ctx or TRACER.current_context(),
+                          profile_hz=profile_hz)
     return pool.apply_async(
         _worker_with_counters,
         ((scenario, period_s, tuple(baselines), context),))

@@ -103,28 +103,69 @@ class TestRegressionGate:
                  "--benchmark", "benchmarks/test_x.py::test_absent"])
 
 
-def test_bench_conftest_writes_results_file(tmp_path):
-    """One cheap benchmark run produces a well-formed BENCH_results.json."""
+def _run_cheap_benchmark(tmp_path, out_path):
+    """Run one cheap benchmark file under the bench conftest."""
     import subprocess
     import sys
 
-    out_path = tmp_path / "BENCH_results.json"
     env = dict(os.environ,
                PYTHONPATH=os.path.join(REPO_ROOT, "src"),
-               BENCH_RESULTS_PATH=str(out_path))
+               BENCH_RESULTS_PATH=str(out_path),
+               BENCH_PROFILES_DIR=str(tmp_path / "BENCH_profiles"))
     proc = subprocess.run(
         [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
          os.path.join(REPO_ROOT, "benchmarks",
                       "test_bench_gridml_listings.py")],
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300)
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_bench_conftest_writes_results_file(tmp_path):
+    """One cheap benchmark run produces a well-formed BENCH_results.json."""
+    out_path = tmp_path / "BENCH_results.json"
+    _run_cheap_benchmark(tmp_path, out_path)
     payload = json.loads(out_path.read_text())
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["code_version"]
     assert payload["results"], "no per-benchmark records written"
     record = payload["results"][0]
     assert record["benchmark"].startswith("benchmarks/")
     assert record["wall_s"] >= 0
+    assert record["code_version"] == payload["code_version"]
     assert set(record["counters"]) == {"events", "allocations",
                                        "probe_memo_hits", "route_cache_hits",
                                        "route_cache_misses"}
+
+
+def test_bench_conftest_merges_previous_results(tmp_path):
+    """A partial run refreshes only its benchmarks and keeps the rest.
+
+    Stale entries survive the merge with the ``code_version`` they were
+    measured at (inherited from the old file's top level for pre-merge
+    schema-1 files), while re-run benchmarks are replaced in place.
+    """
+    out_path = tmp_path / "BENCH_results.json"
+    _write(out_path, {
+        "schema": 1,
+        "code_version": "oldversion",
+        "results": [
+            {"benchmark": "benchmarks/test_stale.py::test_kept",
+             "wall_s": 42.0, "counters": {"events": 7}},
+            {"benchmark": "benchmarks/test_bench_gridml_listings.py"
+                          "::test_bench_gridml_documents",
+             "wall_s": 41.0, "counters": {"events": 6}},
+        ],
+    })
+    _run_cheap_benchmark(tmp_path, out_path)
+    payload = json.loads(out_path.read_text())
+    assert payload["schema"] == 2
+    by_id = {r["benchmark"]: r for r in payload["results"]}
+    kept = by_id["benchmarks/test_stale.py::test_kept"]
+    assert kept["wall_s"] == 42.0
+    assert kept["code_version"] == "oldversion"
+    fresh = [r for r in payload["results"]
+             if r["benchmark"].startswith(
+                 "benchmarks/test_bench_gridml_listings.py")]
+    assert fresh, "re-run benchmarks missing from the merged file"
+    assert all(r["code_version"] == payload["code_version"] and
+               r["wall_s"] != 41.0 for r in fresh)

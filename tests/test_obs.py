@@ -315,6 +315,24 @@ class TestMetrics:
         assert 'lat_seconds_bucket{route="/x\\"y",le="+Inf"} 2' in lines
         assert 'lat_seconds_count{route="/x\\"y"} 2' in lines
 
+    def test_zero_clears_values_but_keeps_handles_live(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("served_total")
+        counter.inc(7)
+        hist = reg.histogram("wait_seconds", labels=("q",),
+                             buckets=(0.1, 1.0))
+        hist.labels(q="a").observe(0.5)
+        reg.zero()
+        text = reg.render_prometheus()
+        assert "served_total 0" in text
+        assert 'wait_seconds_count{q="a"} 0' in text
+        # The pre-zero handles still feed the same registry.
+        counter.inc(2)
+        hist.labels(q="a").observe(0.05)
+        text = reg.render_prometheus()
+        assert "served_total 2" in text
+        assert 'wait_seconds_bucket{q="a",le="0.1"} 1' in text
+
     def test_reset_keeps_perf_counters_exported(self):
         reg = MetricsRegistry()
         register_perf_counters(reg)
@@ -444,7 +462,38 @@ class TestTimeline:
         assert "env.lookup" in out
         assert main(["trace", log, "--trace-id", trace_id]) == 0
         assert main(["trace", log, "--trace-id", "missing"]) == 1
-        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_cli_trace_missing_and_empty_logs_diagnose(self, tmp_path,
+                                                       capsys):
+        """An absent or span-free log is an operator mistake: a pointed
+        diagnostic on stderr and exit 1, not a generic error exit."""
+        absent = str(tmp_path / "absent.jsonl")
+        assert main(["trace", absent]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read span log" in err
+        assert "--trace-log" in err          # the fix is suggested
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "no spans" in err
+        assert "--trace-sample" in err
+
+    def test_cli_trace_orphaned_parents_diagnose(self, tmp_path, capsys):
+        """Orphaned parent ids mean the log is incomplete: the timeline
+        still renders (orphans as extra roots) but the exit is non-zero."""
+        log = tmp_path / "spans.jsonl"
+        spans = [self._span("root", "s1"),
+                 dict(self._span("child", "s2"), parent_id="vanished")]
+        log.write_text("".join(json.dumps(s) + "\n" for s in spans))
+        assert main(["trace", str(log)]) == 1
+        captured = capsys.readouterr()
+        assert "child" in captured.out       # still rendered
+        assert "orphan" in captured.out      # and marked in the timeline
+        assert "orphaned span(s)" in captured.err
+        # A complete log keeps exiting 0.
+        log.write_text(json.dumps(self._span("root", "s1")) + "\n")
+        assert main(["trace", str(log)]) == 0
 
     def test_cli_root_span_reaches_log(self, tmp_path, capsys):
         log = str(tmp_path / "spans.jsonl")
@@ -536,6 +585,92 @@ class TestConcurrency:
 
 
 # ---------------------------------------------------------------------------
+# span-log rotation (size cap, cross-process safety)
+
+
+class TestSpanLogRotation:
+    def test_rotate_if_needed_caps_and_keeps_one_generation(self, tmp_path):
+        from repro.ioutils import rotate_if_needed
+
+        path = str(tmp_path / "log.jsonl")
+        assert rotate_if_needed(path, 100) is False          # missing file
+        with open(path, "w") as handle:
+            handle.write("x" * 50)
+        assert rotate_if_needed(path, 100) is False          # under the cap
+        assert rotate_if_needed(path, 0) is False            # cap disabled
+        with open(path, "a") as handle:
+            handle.write("y" * 60)
+        assert rotate_if_needed(path, 100) is True
+        assert not os.path.exists(path)                      # moved aside
+        with open(path + ".1") as handle:
+            assert handle.read() == "x" * 50 + "y" * 60
+        # The next call sees no file again — no cascade of renames.
+        assert rotate_if_needed(path, 100) is False
+
+    def test_tracer_rotates_span_log_without_losing_records(self, tmp_path):
+        log = str(tmp_path / "spans.jsonl")
+        # ~19 KB of ~310-byte lines against a 12 KB cap: exactly one
+        # rotation (a second one would overwrite .1 and lose records).
+        TRACER.configure(sample_rate=1.0, log_path=log, log_max_bytes=12_000)
+        total = 60
+        for index in range(total):
+            with TRACER.start_trace("rotated", index=index,
+                                    payload="x" * 120):
+                pass
+        assert os.path.exists(log + ".1"), "the cap never triggered"
+        spans = load_span_log(log + ".1") + load_span_log(log)
+        assert len(spans) == total
+        assert sorted(s["attrs"]["index"] for s in spans) == list(
+            range(total))
+
+    N_PER_WRITER = 120
+    #: 240 records of ~400 bytes ≈ 96 KB — between one and two caps, so
+    #: the log rotates exactly once while both writers are racing.
+    ROTATE_AT = 64_000
+
+    def _spawn_rotating_writer(self, log_path, tag):
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        script = (
+            "import sys\n"
+            f"sys.path.insert(0, {src!r})\n"
+            "from repro.obs import TRACER\n"
+            f"TRACER.configure(sample_rate=1.0, log_path={log_path!r},\n"
+            f"                 log_max_bytes={self.ROTATE_AT})\n"
+            f"for i in range({self.N_PER_WRITER}):\n"
+            f"    with TRACER.start_trace('write', writer={tag!r},\n"
+            "                             payload='x' * 200):\n"
+            "        pass\n")
+        return subprocess.Popen([sys.executable, "-c", script],
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE)
+
+    def test_two_process_rotation_loses_no_records(self, tmp_path):
+        """Two processes appending across a rotation: every record survives,
+        whole, in either the log or its ``.1`` sibling.
+
+        An unserialised rotation would let the race's loser rename the
+        fresh, near-empty log over the just-written ``.1`` and silently
+        discard it; the flock in ``rotate_if_needed`` makes the loser
+        re-check and stand down.  Sized for exactly one rotation: total
+        bytes land between one and two caps.
+        """
+        log_path = str(tmp_path / "spans.jsonl")
+        writers = [self._spawn_rotating_writer(log_path, tag)
+                   for tag in ("alpha", "beta")]
+        for writer in writers:
+            _, err = writer.communicate(timeout=120)
+            assert writer.returncode == 0, err.decode()
+        assert os.path.exists(log_path + ".1"), "the cap never triggered"
+        spans = load_span_log(log_path + ".1") + load_span_log(log_path)
+        assert len(spans) == 2 * self.N_PER_WRITER
+        for tag in ("alpha", "beta"):
+            mine = [s for s in spans if s["attrs"]["writer"] == tag]
+            assert len(mine) == self.N_PER_WRITER
+            assert all(s["attrs"]["payload"] == "x" * 200 for s in mine)
+
+
+# ---------------------------------------------------------------------------
 # per-task context propagation to pool workers (fast_path + trace)
 
 
@@ -557,11 +692,12 @@ class TestTaskContext:
         try:
             with TRACER.start_trace("submitter") as root:
                 async_result = submit_scenario("ring-4", processes=1)
-            record, deltas, spans = async_result.get(timeout=180)
+            record, deltas, spans, profile = async_result.get(timeout=180)
         finally:
             set_fast_path(True)
         assert record.ok, record.error
         assert isinstance(deltas, dict)
+        assert profile is None               # no profile_hz requested
         by_name = {s["name"]: s for s in spans}
         worker = by_name["sweep.run_scenario"]
         # Satellite pin: the submitter's fast_path=False rode along and was
@@ -574,3 +710,16 @@ class TestTaskContext:
             assert by_name[stage]["trace_id"] == root.trace_id
             assert by_name[stage]["duration_s"] >= 0.0
         assert fast_path_enabled() is True
+
+    def test_pool_worker_ships_profile_when_asked(self):
+        """``profile_hz`` in the task context arms the worker's sampler and
+        the capture rides home on the result channel."""
+        async_result = submit_scenario("wan-grid-3x2", processes=1,
+                                       profile_hz=1000)
+        record, _deltas, _spans, profile = async_result.get(timeout=180)
+        assert record.ok, record.error
+        assert isinstance(profile, dict)
+        assert set(profile) == {"stacks", "samples"}
+        assert profile["samples"] == sum(profile["stacks"].values())
+        assert profile["samples"] > 0, "no samples from a CPU-bound run"
+        assert any("repro." in joined for joined in profile["stacks"])

@@ -875,3 +875,172 @@ class TestObservability:
             # buffered, and the trace endpoint 404s for unknown ids.
             assert {s["trace_id"] for s in TRACER.spans()} == {trace_id}
         _with_app(scenario, cache_dir=str(tmp_path))
+
+# ---------------------------------------------------------------------------
+# obs v2: /profile, /analyze/*, /slo
+
+
+class TestObsAnalytics:
+    @pytest.fixture(autouse=True)
+    def _obs_isolation(self):
+        from repro.obs.metrics import REGISTRY
+        from repro.obs.profile import PROFILER
+
+        TRACER.reset()
+        PROFILER.reset()
+        # zero(), not reset(): the app's module-level counter/histogram
+        # handles must stay live; only accumulated values from earlier
+        # serve tests have to go (they would read as SLO breaches here).
+        REGISTRY.zero()
+        yield
+        TRACER.reset()
+        PROFILER.reset()
+        REGISTRY.zero()
+
+    def test_profiled_run_ships_worker_stacks_home(self, tmp_path):
+        """Acceptance: POST /runs with X-Repro-Profile executes on the pool
+        with the worker's sampler armed, and GET /profile then serves
+        non-empty collapsed stacks containing a pipeline/mapper frame."""
+        async def scenario(app, port):
+            status, _, blob = await _http(port, "GET", "/profile")
+            assert status == 200 and blob == b""     # nothing sampled yet
+            body = json.dumps({"scenario": "wan-grid-3x2"}).encode()
+            status, _, blob = await _http(
+                port, "POST", "/runs", body=body,
+                headers={"X-Repro-Profile": "1000"})
+            assert status == 202
+            job = json.loads(blob)
+            assert job["profile_hz"] == 1000
+            deadline = time.monotonic() + 120
+            while True:
+                status, _, blob = await _http(port, "GET",
+                                              f"/runs/{job['id']}")
+                state = json.loads(blob)
+                if state["status"] not in ("queued", "running"):
+                    break
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.05)
+            assert state["status"] == "ok"
+            assert state["cached"] is False          # profiled jobs never
+            assert state["profile_samples"] > 0      # hit the cache
+            status, headers, blob = await _http(port, "GET", "/profile")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            text = blob.decode("utf-8")
+            assert text, "no collapsed stacks after a profiled run"
+            for line in text.strip().splitlines():
+                stack, _, count = line.rpartition(" ")
+                assert stack and int(count) > 0
+            assert "repro.pipeline" in text or "repro.env" in text
+            # JSON view agrees with the shipped sample count.
+            status, _, blob = await _http(port, "GET",
+                                          "/profile?format=json")
+            payload = json.loads(blob)
+            assert payload["samples"] >= state["profile_samples"]
+            assert payload["armed"] is False         # disarmed between jobs
+        _with_app(scenario, cache_dir=str(tmp_path))
+
+    def test_profile_etag_revalidates_until_new_samples(self, tmp_path):
+        from repro.obs.profile import PROFILER
+
+        async def scenario(app, port):
+            status, headers, _ = await _http(port, "GET", "/profile")
+            etag = headers["etag"]
+            status, _, blob = await _http(
+                port, "GET", "/profile",
+                headers={"If-None-Match": etag})
+            assert status == 304 and blob == b""
+            # The two formats never share a validator.
+            status, headers_json, _ = await _http(
+                port, "GET", "/profile?format=json",
+                headers={"If-None-Match": etag})
+            assert status == 200
+            assert headers_json["etag"] != etag
+            # New samples (an ingested worker profile) invalidate the tag.
+            PROFILER.ingest({"stacks": {"a;b": 3}, "samples": 3})
+            status, headers, _ = await _http(
+                port, "GET", "/profile",
+                headers={"If-None-Match": etag})
+            assert status == 200
+            assert headers["etag"] != etag
+            status, _, _ = await _http(port, "GET", "/profile?format=xml")
+            assert status == 400
+        _with_app(scenario, cache_dir=str(tmp_path))
+
+    def test_analyze_ops_aggregates_buffered_spans(self, tmp_path):
+        async def scenario(app, port):
+            await _http(port, "GET", "/healthz",
+                        headers={"X-Repro-Trace-Id": "t-ops"})
+            status, headers, blob = await _http(port, "GET", "/analyze/ops")
+            assert status == 200
+            payload = json.loads(blob)
+            assert payload["spans"] >= 1
+            ops = {row["op"]: row for row in payload["ops"]}
+            row = ops["serve.request"]
+            assert row["count"] >= 1
+            assert set(row) >= {"p50_s", "p95_s", "p99_s", "self_s",
+                                "total_s", "errors"}
+            # Substring filtering narrows the table.
+            status, _, blob = await _http(port, "GET",
+                                          "/analyze/ops?op=nothing-here")
+            assert json.loads(blob)["ops"] == []
+            # The tag revalidates until another span is recorded.
+            etag = headers["etag"]
+            status, _, _ = await _http(port, "GET", "/analyze/ops",
+                                       headers={"If-None-Match": etag})
+            assert status == 304
+            await _http(port, "GET", "/healthz",
+                        headers={"X-Repro-Trace-Id": "t-ops-2"})
+            status, _, _ = await _http(port, "GET", "/analyze/ops",
+                                       headers={"If-None-Match": etag})
+            assert status == 200
+        _with_app(scenario, cache_dir=str(tmp_path))
+
+    def test_critical_path_of_a_buffered_trace(self, tmp_path):
+        async def scenario(app, port):
+            await _http(port, "GET", "/scenarios",
+                        headers={"X-Repro-Trace-Id": "t-path"})
+            status, _, blob = await _http(port, "GET",
+                                          "/analyze/critical-path/t-path")
+            assert status == 200
+            payload = json.loads(blob)
+            assert payload["trace_id"] == "t-path"
+            assert payload["span_count"] >= 1
+            steps = payload["steps"]
+            assert steps[0]["name"] == "serve.request"
+            assert steps[0]["depth"] == 0
+            assert payload["total_s"] == steps[0]["duration_s"]
+            assert sum(s["self_s"] for s in steps) == pytest.approx(
+                steps[0]["duration_s"])
+            status, _, _ = await _http(port, "GET",
+                                       "/analyze/critical-path/absent")
+            assert status == 404
+        _with_app(scenario, cache_dir=str(tmp_path))
+
+    def test_slo_verdicts_from_live_traffic(self, tmp_path):
+        async def scenario(app, port):
+            for _ in range(5):
+                await _http(port, "GET", "/healthz")
+            status, _, blob = await _http(port, "GET", "/slo")
+            assert status == 200
+            payload = json.loads(blob)
+            assert payload["evaluations"] >= 1
+            by_name = {v["name"]: v for v in payload["slos"]}
+            latency = by_name["http-latency"]
+            # Local /healthz round-trips sit far under 500 ms.
+            assert latency["status"] == "ok"
+            assert latency["compliance"] == pytest.approx(1.0)
+            assert latency["window"]["total"] >= 5
+            availability = by_name["http-availability"]
+            assert availability["status"] == "ok"
+            # A 404 is not a 5xx: availability holds, the counter grows.
+            await _http(port, "GET", "/runs/absent")
+            status, _, blob = await _http(port, "GET", "/slo")
+            by_name = {v["name"]: v
+                       for v in json.loads(blob)["slos"]}
+            assert by_name["http-availability"]["status"] == "ok"
+            assert by_name["http-availability"]["total"] > \
+                availability["total"]
+            status, _, _ = await _http(port, "DELETE", "/slo")
+            assert status == 405
+        _with_app(scenario, cache_dir=str(tmp_path))
