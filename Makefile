@@ -5,13 +5,22 @@ PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
 
-.PHONY: verify tier1 smoke-sweep smoke-sweep-fresh smoke-import smoke-serve \
-	sweep bench bench-smoke bench-check clean
+.PHONY: verify tier1 chaos smoke-sweep smoke-sweep-fresh smoke-import \
+	smoke-serve sweep bench bench-smoke bench-check clean
 
 verify: tier1 smoke-sweep smoke-import smoke-serve
 
 tier1:
 	$(PYTEST) -x -q
+
+# The seeded chaos suite (tests/test_chaos.py + the fault-plan unit tests):
+# killed/hung pool workers, poisoned scenarios, breaker trips, SIGTERM
+# drain, injected ENOSPC/torn-tail write failures.  Every fault is driven
+# by a deterministic FaultPlan, so failures reproduce exactly.  Spans land
+# in CHAOS_spans.jsonl for post-mortem rendering (repro trace).
+chaos:
+	REPRO_CHAOS_SPAN_LOG=CHAOS_spans.jsonl $(PYTEST) -x -q \
+		tests/test_faults.py tests/test_chaos.py
 
 # Four small scenarios (tagged "smoke"), sharded over two workers.  Cached
 # results may be served (safe: keys embed a hash of every source file), so
@@ -68,4 +77,5 @@ bench-check: bench-smoke
 
 clean:
 	rm -rf .sweep-cache .pytest_cache .benchmarks BENCH_results.json \
-		BENCH_spans.jsonl BENCH_profiles
+		BENCH_spans.jsonl BENCH_profiles CHAOS_spans.jsonl \
+		CHAOS_spans.jsonl.1

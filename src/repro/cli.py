@@ -57,6 +57,7 @@ from .analysis import render_env_tree, render_plan, render_table
 from .core import plan_from_view, render_config
 from .dynamics import list_dynamic_scenarios, run_replay
 from .env import map_ens_lyon, map_platform
+from .faults import install_plan, load_plan
 from .gridml import write_gridml
 from .ingest import (
     DEFAULT_MANIFEST,
@@ -83,7 +84,13 @@ from .obs.timeline import find_orphans
 from .pipeline import BASELINE_PLANNERS, run_pipeline
 from .scenarios import list_scenarios
 from .serve import ReproApp, catalog_json, run_server
-from .sweep import DEFAULT_CACHE_DIR, records_json, run_sweep
+from .sweep import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_RETRIES,
+    DEFAULT_TASK_DEADLINE_S,
+    records_json,
+    run_sweep,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -132,6 +139,29 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--format", choices=("table", "json"),
                         default="table",
                         help="summary output format (default: table)")
+    parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
+                        help="extra attempts per scenario after an "
+                             "infrastructure failure (worker crash, hang, "
+                             f"pool respawn; default: {DEFAULT_RETRIES})")
+    parser.add_argument("--task-deadline", type=float,
+                        default=DEFAULT_TASK_DEADLINE_S, metavar="SECONDS",
+                        help="per-task wall-clock deadline; past it the "
+                             "worker pool is respawned and the task retried "
+                             f"(default: {DEFAULT_TASK_DEADLINE_S:g})")
+    _add_fault_argument(parser)
+
+
+def _add_fault_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--inject-faults", default=None, metavar="PLAN",
+                        help="fault-injection plan: a JSON literal or a "
+                             "path to a JSON file (see repro.faults; "
+                             "deterministic chaos testing)")
+
+
+def _install_faults(args: argparse.Namespace) -> None:
+    """Install the ``--inject-faults`` plan (if any) for this process tree."""
+    if getattr(args, "inject_faults", None):
+        install_plan(load_plan(args.inject_faults))
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser,
@@ -339,7 +369,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "503 (default: 32)")
     p_serve.add_argument("--job-timeout", type=float, default=600.0,
                          metavar="SECONDS",
-                         help="per-job wall-clock timeout (default: 600)")
+                         help="per-job wall-clock timeout; past it the "
+                              "worker is killed and the pool respawned "
+                              "(default: 600)")
+    p_serve.add_argument("--job-retries", type=int, default=1,
+                         help="extra attempts per job after its worker dies "
+                              "mid-task (default: 1)")
+    p_serve.add_argument("--breaker-threshold", type=int, default=5,
+                         help="consecutive failures of one scenario that "
+                              "open its circuit breaker (default: 5)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="open-breaker cooldown before a half-open "
+                              "probe is allowed (default: 30)")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="SIGTERM graceful-drain budget for in-flight "
+                              "jobs (default: 10)")
+    _add_fault_argument(p_serve)
     # The server defaults to tracing every request: its spans are the point
     # of GET /trace/{id}, and the overhead benchmark bounds the cost.
     _add_observability_arguments(p_serve, sample_default=1.0)
@@ -599,12 +646,15 @@ def _cmd_import(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _install_faults(args)
     kwargs = {}
     if args.baselines is not None:
         kwargs["baselines"] = tuple(args.baselines)
     result = run_sweep(pattern=args.filter, jobs=args.jobs,
                        cache_dir=args.cache_dir, rerun=args.rerun,
-                       out_path=args.out, period_s=args.period, **kwargs)
+                       out_path=args.out, period_s=args.period,
+                       retries=args.retries,
+                       task_deadline_s=args.task_deadline, **kwargs)
     return _print_sweep_result(result, args.jobs, args.format)
 
 
@@ -664,13 +714,15 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
         return 0
 
     # "run": the dynamic family through the sweep engine (epoch-aware records)
+    _install_faults(args)
     names = [s.name for s in list_dynamic_scenarios(args.filter)]
     if not names:
         print(f"no dynamic scenarios match {args.filter!r}", file=sys.stderr)
         return 1
     result = run_sweep(names=names, jobs=args.jobs, cache_dir=args.cache_dir,
                        rerun=args.rerun, out_path=args.out,
-                       period_s=args.period)
+                       period_s=args.period, retries=args.retries,
+                       task_deadline_s=args.task_deadline)
     return _print_sweep_result(result, args.jobs, args.format)
 
 
@@ -944,16 +996,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ValueError("--queue-size must be >= 1")
     if args.job_timeout <= 0:
         raise ValueError("--job-timeout must be positive")
+    if args.job_retries < 0:
+        raise ValueError("--job-retries must be >= 0")
+    if args.breaker_threshold < 1:
+        raise ValueError("--breaker-threshold must be >= 1")
+    if args.breaker_cooldown < 0:
+        raise ValueError("--breaker-cooldown must be >= 0")
+    if args.drain_timeout < 0:
+        raise ValueError("--drain-timeout must be >= 0")
+    _install_faults(args)
     app = ReproApp(cache_dir=args.cache_dir, store_path=args.out,
                    pool_processes=args.jobs, job_timeout_s=args.job_timeout,
-                   queue_size=args.queue_size)
+                   queue_size=args.queue_size, job_retries=args.job_retries,
+                   breaker_threshold=args.breaker_threshold,
+                   breaker_cooldown_s=args.breaker_cooldown)
 
     def announce(port: int) -> None:
         # Machine-parseable: the smoke harness starts `--port 0` and reads
         # the bound port off this line.
         print(f"serving on http://{args.host}:{port}", flush=True)
 
-    run_server(app, host=args.host, port=args.port, announce=announce)
+    run_server(app, host=args.host, port=args.port, announce=announce,
+               drain_timeout_s=args.drain_timeout)
     return 0
 
 

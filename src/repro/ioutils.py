@@ -2,15 +2,40 @@
 
 from __future__ import annotations
 
+import errno
 import os
 import tempfile
+from typing import Callable, Optional
 
 try:
     import fcntl
 except ImportError:                  # non-POSIX: rotation runs unserialised
     fcntl = None
 
-__all__ = ["write_atomic", "append_line", "rotate_if_needed"]
+__all__ = ["write_atomic", "append_line", "rotate_if_needed",
+           "set_write_fault_hook"]
+
+#: Fault-injection hook consulted before every write: given the target path,
+#: returns ``None`` (no fault), ``"enospc"`` (raise before writing) or
+#: ``"torn"`` (append half the payload, then raise).  Registered by
+#: :mod:`repro.faults` — a hook rather than an import, because this module
+#: must stay importable before the obs stack that ``faults`` pulls in.
+_WRITE_FAULT_HOOK: Optional[Callable[[str], Optional[str]]] = None
+
+
+def set_write_fault_hook(hook: Optional[Callable[[str], Optional[str]]]
+                         ) -> None:
+    global _WRITE_FAULT_HOOK
+    _WRITE_FAULT_HOOK = hook
+
+
+def _write_fault(path: str) -> Optional[str]:
+    return _WRITE_FAULT_HOOK(path) if _WRITE_FAULT_HOOK is not None else None
+
+
+def _injected_enospc(path: str, torn: bool) -> OSError:
+    detail = "injected torn write" if torn else "injected ENOSPC"
+    return OSError(errno.ENOSPC, detail, path)
 
 
 def rotate_if_needed(path: str, max_bytes: int) -> bool:
@@ -64,13 +89,40 @@ def append_line(path: str, text: str,
     :func:`rotate_if_needed` before the write; a writer racing the
     rotation lands its line in either the old or the new file, always
     whole.
+
+    An existing *torn tail* — a previous append died (ENOSPC, kill)
+    after writing only part of its line — is healed with a newline
+    before this payload goes down.  The garbage stays confined to its
+    own (skippable) line instead of silently corrupting the first line
+    of this append, which would lose a record that *did* commit.
     """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     if rotate_at:
         rotate_if_needed(path, rotate_at)
-    with open(path, "ab", buffering=0) as handle:
-        handle.write(text.encode("utf-8"))
+    payload = text.encode("utf-8")
+    fault = _write_fault(path)
+    if fault == "enospc":
+        raise _injected_enospc(path, torn=False)
+    # "a+b": readable for the torn-tail probe; writes still land at EOF
+    # (O_APPEND) no matter where the probe left the offset.
+    with open(path, "a+b", buffering=0) as handle:
+        try:
+            if handle.seek(0, os.SEEK_END) > 0:
+                handle.seek(-1, os.SEEK_END)
+                torn_tail = handle.read(1) != b"\n"
+            else:
+                torn_tail = False
+        except OSError:
+            torn_tail = False
+        if torn_tail:
+            handle.write(b"\n")
+        if fault == "torn":
+            # Half the payload lands, then the disk "fills": the classic
+            # torn JSONL tail readers must survive.
+            handle.write(payload[:max(1, len(payload) // 2)])
+            raise _injected_enospc(path, torn=True)
+        handle.write(payload)
 
 
 def write_atomic(path: str, text: str, suffix: str = "") -> None:
@@ -85,6 +137,10 @@ def write_atomic(path: str, text: str, suffix: str = "") -> None:
                                     suffix=suffix)
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            if _write_fault(path) is not None:
+                # Both injected variants surface as ENOSPC here: the tmp
+                # file is discarded below, so a torn write can't exist.
+                raise _injected_enospc(path, torn=False)
             handle.write(text)
         # mkstemp creates 0600 files; restore umask-governed permissions so
         # e.g. a shared sweep cache stays readable across users.

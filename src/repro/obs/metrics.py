@@ -242,6 +242,30 @@ class MetricsRegistry:
                     series.sum = 0.0
                     series.count = 0
 
+    def value(self, name: str, **labels: str) -> Optional[float]:
+        """The current value of one counter/gauge series, or ``None``.
+
+        Resolves *existing* series only — asking for a series that was
+        never touched returns ``None`` instead of materialising it (tests
+        and health endpoints probe freely without polluting ``/metrics``).
+        Callback-backed series are evaluated.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None or metric.kind == "histogram":
+                return None
+            key = tuple(str(labels.get(n, "")) for n in metric.label_names)
+            series = metric._series.get(key)
+            if series is None:
+                return None
+            fn, stored = series.fn, series.value
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:   # noqa: BLE001 — mirror _collect's tolerance
+                return None
+        return stored
+
     # -- scraping ------------------------------------------------------------
 
     def _collect(self) -> List[Tuple[Metric, List[Tuple[Tuple[str, ...],

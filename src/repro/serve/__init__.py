@@ -19,6 +19,8 @@ See README.md, "Serving results".
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import signal
 from typing import Tuple
 
 from .app import LRUCache, ReproApp
@@ -47,31 +49,51 @@ async def start_server(app: ReproApp, host: str = "127.0.0.1",
     ephemeral port.
     """
     app.start()
-    server = await serve_http(app.handle, host=host, port=port)
+    server = await serve_http(app.handle, host=host, port=port,
+                              draining=lambda: app.draining)
     bound = server.sockets[0].getsockname()[1]
     return server, bound
 
 
 def run_server(app: ReproApp, host: str = "127.0.0.1", port: int = 8765,
-               announce=None) -> None:
-    """Serve forever (the blocking CLI entry point; Ctrl-C stops cleanly).
+               announce=None, drain_timeout_s: float = 10.0) -> None:
+    """Serve until SIGTERM/SIGINT, then drain gracefully.
+
+    The blocking CLI entry point.  On the first SIGTERM (or Ctrl-C) the
+    server stops accepting connections, refuses new job submissions,
+    waits up to ``drain_timeout_s`` for in-flight jobs, flushes the
+    result store (in-memory fallback records, the sidecar index) and
+    exits 0 — no half-written state, no abandoned clients.  A second
+    signal during the drain aborts it.
 
     ``announce`` is called once with the bound port — the CLI prints the
     URL from it, and ``--port 0`` smoke harnesses parse that line to learn
     the ephemeral port.
     """
     async def _main() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, stop.set)
         server, bound = await start_server(app, host=host, port=port)
         if announce is not None:
             announce(bound)
         try:
-            await asyncio.Event().wait()        # serve until cancelled
+            await stop.wait()
         finally:
+            # Stop accepting first (close the listener; responses on live
+            # keep-alive connections now carry Connection: close via the
+            # draining predicate), then drain jobs + flush the store, then
+            # tear the machinery down.
             server.close()
             await server.wait_closed()
+            await app.drain(timeout_s=drain_timeout_s)
             await app.close()
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
+        # Fallback for platforms without add_signal_handler: still exit
+        # cleanly, just without the async drain.
         pass

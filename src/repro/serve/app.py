@@ -81,6 +81,7 @@ from ..pipeline import BASELINE_PLANNERS
 from ..scenarios.registry import get_scenario, list_scenarios
 from ..sweep.results import default_store_path
 from ..sweep.runner import DEFAULT_BASELINES, DEFAULT_CACHE_DIR
+from .breaker import CircuitOpen
 from .catalog import catalog_etag, catalog_payload
 from .http import HTTPError, Request, Response, json_response
 from .jobs import JobQueue, QueueFull
@@ -212,13 +213,24 @@ class ReproApp:
                  pool_processes: int = 2,
                  job_timeout_s: float = 600.0,
                  queue_size: int = 32,
-                 cache_capacity: int = 256) -> None:
+                 cache_capacity: int = 256,
+                 job_retries: int = 1,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown_s: float = 30.0) -> None:
         self.cache_dir = cache_dir
         self.store_path = store_path or default_store_path(cache_dir)
         self.store = ResultStore(self.store_path)
         self.jobs = JobQueue(cache_dir=cache_dir, out_path=self.store_path,
                              pool_processes=pool_processes,
-                             timeout_s=job_timeout_s, maxsize=queue_size)
+                             timeout_s=job_timeout_s, maxsize=queue_size,
+                             retries=job_retries,
+                             breaker_threshold=breaker_threshold,
+                             breaker_cooldown_s=breaker_cooldown_s,
+                             # A result the disk refuses is held by the
+                             # store's in-memory fallback: the client still
+                             # reads it, a later flush retries the append.
+                             on_persist_error=lambda record:
+                             self.store.remember([record]))
         self.cache = LRUCache(cache_capacity)
         self.started_at = time.time()
         self.requests_total = 0
@@ -241,6 +253,12 @@ class ReproApp:
         REGISTRY.gauge("repro_response_cache_entries",
                        "rendered response bodies held in the LRU",
                        fn=lambda: len(self.cache))
+        REGISTRY.gauge("repro_breakers_open",
+                       "scenario circuit breakers currently not closed",
+                       fn=self.jobs.breakers.open_count)
+        REGISTRY.gauge("repro_store_fallback_records",
+                       "result records held only in memory (disk refused)",
+                       fn=self.store.fallback_count)
         self.slo_engine = SLOEngine()
 
     # -- plumbing -----------------------------------------------------------
@@ -248,6 +266,22 @@ class ReproApp:
     def start(self) -> None:
         """Start the background machinery (needs a running event loop)."""
         self.jobs.start()
+
+    @property
+    def draining(self) -> bool:
+        return self.jobs.draining
+
+    async def drain(self, timeout_s: float = 10.0) -> None:
+        """Graceful shutdown, phase one: refuse new jobs, wait for
+        in-flight ones up to ``timeout_s``, then flush everything durable
+        (in-memory fallback records, the sidecar index, buffered spans go
+        with the span-log handler's own flushing).  :meth:`close` follows.
+        """
+        cut_off = await self.jobs.drain(timeout_s)
+        self.store.flush()
+        _LOG.warning("event=drained %s",
+                     kv(cut_off=cut_off, uptime_s=round(
+                         time.time() - self.started_at, 3)))
 
     async def close(self) -> None:
         await self.jobs.close()
@@ -352,11 +386,18 @@ class ReproApp:
 
     def _healthz(self, method: str) -> Response:
         self._require(method, "GET", "HEAD")
+        # Degradation (open breakers, fallback records, draining) is
+        # *reported*, but the status stays "ok": one poisoned scenario or
+        # a full disk must not make an orchestrator kill a server that is
+        # still answering every other request.
         return json_response({
             "status": "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
             "jobs_pending": self.jobs.pending(),
             "store_records": self.store.count(),
+            "draining": self.draining,
+            "breakers": self.jobs.breakers.states(),
+            "store_fallback_records": self.store.fallback_count(),
         })
 
     def _metrics(self, request: Request, method: str) -> Response:
@@ -551,7 +592,7 @@ class ReproApp:
                                    baselines=tuple(baselines), rerun=rerun,
                                    trace_ctx=TRACER.current_context(),
                                    profile_hz=_profile_hz(request))
-        except QueueFull as exc:
+        except (QueueFull, CircuitOpen) as exc:
             raise HTTPError(503, str(exc))
         return json_response(job.as_payload(), status=202,
                              headers={"Location": f"/runs/{job.id}"})

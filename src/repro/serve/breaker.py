@@ -1,0 +1,162 @@
+"""Per-scenario circuit breakers for the serving layer.
+
+A scenario that keeps crashing its worker (poisoned input, pathological
+topology, injected chaos) must not be allowed to grind the whole job queue:
+every doomed dispatch burns a pool slot for a full timeout, starving
+healthy traffic.  :class:`BreakerBoard` keeps one classic three-state
+breaker per scenario:
+
+* **closed** — requests flow; ``threshold`` *consecutive* failures open it;
+* **open** — submissions are rejected immediately with
+  :class:`CircuitOpen` (the API maps it to 503) until ``cooldown_s`` has
+  passed;
+* **half-open** — after the cooldown exactly one probe job is admitted;
+  its success closes the breaker, its failure re-opens (and re-arms the
+  cooldown), its cancellation releases the probe slot without a verdict.
+
+State transitions tick ``repro_breaker_transitions_total{to=...}`` and log
+structured events; ``/healthz`` reports any non-closed breakers so a probe
+sees degradation without the server ever going unhealthy over one bad
+scenario.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.logs import get_logger, kv
+from ..obs.metrics import REGISTRY
+
+__all__ = ["CircuitOpen", "BreakerBoard", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_LOG = get_logger("serve.breaker")
+
+_TRANSITIONS = REGISTRY.counter(
+    "repro_breaker_transitions_total",
+    "circuit breaker state transitions, by target state",
+    labels=("to",))
+
+
+class CircuitOpen(RuntimeError):
+    """Submission refused: the scenario's circuit breaker is open."""
+
+
+class _Breaker:
+    __slots__ = ("state", "failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0            # consecutive, while closed
+        self.opened_at = 0.0
+        self.probing = False         # a half-open probe is in flight
+
+
+class BreakerBoard:
+    """All per-scenario breakers of one serve process."""
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 30.0) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("breaker cooldown must be >= 0")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, _Breaker] = {}
+
+    def _transition(self, scenario: str, breaker: _Breaker, to: str) -> None:
+        _TRANSITIONS.labels(to=to).inc()
+        _LOG.warning("event=breaker_transition %s",
+                     kv(scenario=scenario, from_=breaker.state, to=to,
+                        failures=breaker.failures))
+        breaker.state = to
+
+    def allow(self, scenario: str) -> None:
+        """Admit a submission for ``scenario`` or raise :class:`CircuitOpen`.
+
+        An open breaker past its cooldown moves to half-open and admits the
+        caller as the single probe; further submissions are rejected until
+        the probe reports back through :meth:`record` / :meth:`abandon`.
+        """
+        with self._lock:
+            breaker = self._breakers.get(scenario)
+            if breaker is None or breaker.state == CLOSED:
+                return
+            if breaker.state == OPEN:
+                remaining = breaker.opened_at + self.cooldown_s - \
+                    time.monotonic()
+                if remaining > 0:
+                    raise CircuitOpen(
+                        f"scenario {scenario!r} circuit is open "
+                        f"({breaker.failures} consecutive failures; "
+                        f"retry in {max(0.0, remaining):.1f}s)")
+                self._transition(scenario, breaker, HALF_OPEN)
+                breaker.probing = False
+            # half-open: one probe at a time.
+            if breaker.probing:
+                raise CircuitOpen(
+                    f"scenario {scenario!r} circuit is half-open and its "
+                    f"probe is still in flight")
+            breaker.probing = True
+
+    def record(self, scenario: str, ok: bool) -> None:
+        """Feed a finished job's outcome back into its breaker."""
+        with self._lock:
+            breaker = self._breakers.get(scenario)
+            if ok:
+                if breaker is None:
+                    return
+                if breaker.state != CLOSED:
+                    self._transition(scenario, breaker, CLOSED)
+                breaker.failures = 0
+                breaker.probing = False
+                return
+            if breaker is None:
+                breaker = self._breakers.setdefault(scenario, _Breaker())
+            if breaker.state == HALF_OPEN:
+                # The probe failed: back to fully open, cooldown re-armed.
+                breaker.failures += 1
+                breaker.probing = False
+                breaker.opened_at = time.monotonic()
+                self._transition(scenario, breaker, OPEN)
+                return
+            breaker.failures += 1
+            if breaker.state == CLOSED and \
+                    breaker.failures >= self.threshold:
+                breaker.opened_at = time.monotonic()
+                self._transition(scenario, breaker, OPEN)
+
+    def abandon(self, scenario: str) -> None:
+        """A job ended without a verdict (cancelled): release any probe."""
+        with self._lock:
+            breaker = self._breakers.get(scenario)
+            if breaker is not None:
+                breaker.probing = False
+
+    def state(self, scenario: str) -> str:
+        with self._lock:
+            breaker = self._breakers.get(scenario)
+            return CLOSED if breaker is None else breaker.state
+
+    def states(self) -> Dict[str, Dict[str, object]]:
+        """Every non-closed breaker, for ``/healthz``."""
+        with self._lock:
+            out: Dict[str, Dict[str, object]] = {}
+            for scenario, breaker in sorted(self._breakers.items()):
+                if breaker.state == CLOSED:
+                    continue
+                out[scenario] = {"state": breaker.state,
+                                 "failures": breaker.failures}
+            return out
+
+    def open_count(self) -> int:
+        """Breakers currently not closed (gauge callback)."""
+        with self._lock:
+            return sum(1 for b in self._breakers.values()
+                       if b.state != CLOSED)

@@ -151,9 +151,14 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
 
 Handler = Callable[[Request], Awaitable[Response]]
 
+#: Predicate consulted per response: truthy means the server is draining
+#: (SIGTERM received) and open connections should be told to go away.
+Draining = Callable[[], bool]
+
 
 async def _serve_connection(handler: Handler, reader: asyncio.StreamReader,
-                            writer: asyncio.StreamWriter) -> None:
+                            writer: asyncio.StreamWriter,
+                            draining: Optional[Draining] = None) -> None:
     try:
         while True:
             try:
@@ -168,6 +173,11 @@ async def _serve_connection(handler: Handler, reader: asyncio.StreamReader,
                 return
             keep_alive = request.headers.get("connection",
                                              "keep-alive").lower() != "close"
+            if draining is not None and draining():
+                # Graceful drain: answer this request, then shed the
+                # connection (``Connection: close``) so keep-alive clients
+                # don't pin the server past its drain deadline.
+                keep_alive = False
             try:
                 response = await handler(request)
             except HTTPError as exc:
@@ -193,12 +203,15 @@ async def _serve_connection(handler: Handler, reader: asyncio.StreamReader,
 
 
 async def serve_http(handler: Handler, host: str = "127.0.0.1",
-                     port: int = 0) -> "asyncio.base_events.Server":
+                     port: int = 0,
+                     draining: Optional[Draining] = None
+                     ) -> "asyncio.base_events.Server":
     """Start serving ``handler``; returns the listening asyncio server.
 
     ``port=0`` binds an ephemeral port; read the actual one off
-    ``server.sockets[0].getsockname()[1]``.
+    ``server.sockets[0].getsockname()[1]``.  ``draining`` (optional)
+    marks responses ``Connection: close`` while it returns true.
     """
     return await asyncio.start_server(
-        lambda r, w: _serve_connection(handler, r, w), host=host, port=port,
-        limit=MAX_HEADER_BYTES)
+        lambda r, w: _serve_connection(handler, r, w, draining),
+        host=host, port=port, limit=MAX_HEADER_BYTES)

@@ -14,22 +14,37 @@ job whose scenario is already cached completes instantly without touching
 the pool.
 
 Lifecycle per job: ``queued`` → ``running`` → one of ``ok`` / ``error`` /
-``timeout`` / ``cancelled``.  Cancellation is immediate for queued jobs;
-a running job's pool task cannot be killed without poisoning the shared
-pool, so cancelling (or timing out) one only abandons the result (status
-``cancelled``/``timeout``, nothing persisted) while its dispatcher keeps
-draining the worker before dispatching new work — abandonment never
-over-commits the pool.
+``timeout`` / ``cancelled``.  Failure handling (PR 8):
+
+* a worker that **dies** mid-task (the dispatcher sees worker pids vanish,
+  or the pool generation change, or ``get()`` raise) costs the job one of
+  its ``retries`` re-dispatches — with backoff — before it is marked
+  ``error``; the dispatcher itself always survives;
+* a job past ``timeout_s`` gets **real** timeout semantics: the shared
+  pool is respawned (killing the hung worker — a pool task cannot be
+  killed individually), so the slot is actually freed instead of leaking
+  behind an "abandoned" task;
+* repeated failures of one scenario trip its **circuit breaker**
+  (:mod:`repro.serve.breaker`): submissions are refused with 503 until a
+  half-open probe succeeds, so a poisoned scenario cannot starve the
+  queue;
+* cancellation is immediate for queued jobs; a cancelled *running* job's
+  result is abandoned while its dispatcher drains the worker before
+  dispatching new work — abandonment never over-commits the pool;
+* during **drain** (SIGTERM) the queue refuses new work and waits for
+  in-flight jobs up to a deadline.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.logs import get_logger, kv
 from ..obs.metrics import REGISTRY
 from ..obs.profile import PROFILER
 from ..obs.trace import TRACER
@@ -39,14 +54,25 @@ from ..sweep.runner import (
     DEFAULT_BASELINES,
     DEFAULT_CACHE_DIR,
     load_cached_record,
+    pool_generation,
+    respawn_pool,
     store_record,
     submit_scenario,
+    worker_deaths,
 )
+from .breaker import BreakerBoard
 
 __all__ = ["Job", "JobQueue", "QueueFull"]
 
 #: How often a dispatcher polls its in-flight pool task.
 _POLL_INTERVAL_S = 0.05
+#: How long after observing *some* worker death a dispatcher waits for its
+#: own result before declaring the task lost — a death elsewhere (or a
+#: ``maxtasksperchild`` recycle) usually lets the result land within a poll
+#: or two.
+_DEATH_GRACE_S = 0.25
+
+_LOG = get_logger("serve.jobs")
 
 #: Queue-wait distribution — submission to dispatcher pick-up.  Observed for
 #: every job; the matching per-trace ``serve.queue_wait`` span only exists
@@ -54,12 +80,19 @@ _POLL_INTERVAL_S = 0.05
 _QUEUE_WAIT_SECONDS = REGISTRY.histogram(
     "repro_job_queue_wait_seconds",
     "seconds a job waited in the queue before a dispatcher picked it up")
+_JOB_RETRIES = REGISTRY.counter(
+    "repro_job_retries_total",
+    "serve job re-dispatches after infrastructure failures, by trigger",
+    labels=("reason",))
+_PERSIST_ERRORS = REGISTRY.counter(
+    "repro_job_persist_errors_total",
+    "job results the cache/store refused to write (kept in memory instead)")
 
 TERMINAL = ("ok", "error", "timeout", "cancelled")
 
 
 class QueueFull(Exception):
-    """The job queue is at capacity; retry later."""
+    """The job queue is at capacity (or draining); retry later."""
 
 
 @dataclass
@@ -78,6 +111,8 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Re-dispatches this job used (0 when the first attempt succeeded).
+    retries_used: int = 0
     #: The submitting request's trace context (``None`` outside a sampled
     #: trace): the queue-wait/job spans parent under it and the pool worker
     #: adopts it.
@@ -112,6 +147,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "retries_used": self.retries_used,
             "trace_id": self.trace_id,
             "profile_hz": self.profile_hz,
             "profile_samples": self.profile_samples,
@@ -136,18 +172,31 @@ class JobQueue:
                  pool_processes: int = 2,
                  timeout_s: float = 600.0,
                  maxsize: int = 32,
-                 keep_finished: int = 256) -> None:
+                 keep_finished: int = 256,
+                 retries: int = 1,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown_s: float = 30.0,
+                 on_persist_error: Optional[
+                     Callable[[SweepRecord], None]] = None) -> None:
         self.cache_dir = cache_dir
         self.out_path = out_path
         self.pool_processes = max(1, pool_processes)
         self.timeout_s = timeout_s
         self.maxsize = maxsize
         self.keep_finished = keep_finished
+        self.retries = max(0, retries)
+        #: Where a result goes when the disk refuses it (the app wires this
+        #: to the store's in-memory fallback) — degradation, not data loss.
+        self.on_persist_error = on_persist_error
+        self.breakers = BreakerBoard(threshold=breaker_threshold,
+                                     cooldown_s=breaker_cooldown_s)
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._queue: "asyncio.Queue[str]" = asyncio.Queue()
         self._ids = itertools.count(1)
         self._dispatchers: List[asyncio.Task] = []
+        self._draining = False
+        self._rng = random.Random(0x0B5E)
         self.completed = 0
 
     # -- lifecycle ----------------------------------------------------------
@@ -174,6 +223,28 @@ class JobQueue:
             if not job.done:
                 self._finish(job, "cancelled")
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, timeout_s: float = 10.0) -> int:
+        """Stop accepting work, wait for in-flight jobs up to ``timeout_s``.
+
+        Jobs still unfinished at the deadline are marked cancelled.
+        Returns how many were cut off.  Idempotent; submissions during a
+        drain are refused with :class:`QueueFull` (503 to clients).
+        """
+        self._draining = True
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while self.pending() and time.monotonic() < deadline:
+            await asyncio.sleep(_POLL_INTERVAL_S)
+        leftover = [j for j in self._jobs.values() if not j.done]
+        for job in leftover:
+            self._finish(job, "cancelled")
+        _LOG.warning("event=queue_drained %s",
+                     kv(cut_off=len(leftover), completed=self.completed))
+        return len(leftover)
+
     # -- submission / inspection --------------------------------------------
 
     def pending(self) -> int:
@@ -184,9 +255,14 @@ class JobQueue:
                rerun: bool = False,
                trace_ctx: Optional[Dict[str, str]] = None,
                profile_hz: int = 0) -> Job:
-        """Enqueue one run; raises :class:`QueueFull` at capacity."""
+        """Enqueue one run; raises :class:`QueueFull` at capacity or while
+        draining, :class:`~repro.serve.breaker.CircuitOpen` when the
+        scenario's breaker refuses it."""
+        if self._draining:
+            raise QueueFull("server is draining; not accepting new jobs")
         if self.pending() >= self.maxsize:
             raise QueueFull(f"job queue is full ({self.maxsize} pending)")
+        self.breakers.allow(scenario)
         job = Job(id=f"job-{next(self._ids)}", scenario=scenario,
                   period_s=float(period_s), baselines=tuple(baselines),
                   rerun=bool(rerun), trace_ctx=trace_ctx,
@@ -234,6 +310,15 @@ class JobQueue:
             (record.error if record is not None else None)
         job.finished_at = time.time()
         self.completed += 1
+        # Feed the scenario's circuit breaker: successes close it, errors
+        # and timeouts push it open, a cancellation releases any half-open
+        # probe without a verdict.
+        if status == "ok":
+            self.breakers.record(job.scenario, ok=True)
+        elif status in ("error", "timeout"):
+            self.breakers.record(job.scenario, ok=False)
+        else:
+            self.breakers.abandon(job.scenario)
         # The job interval is enclosed by no single frame (it spans poll
         # iterations), so it is recorded retroactively — a no-op without a
         # trace context.
@@ -243,6 +328,28 @@ class JobQueue:
             "serve.job", job.trace_ctx, start_ts=start,
             duration_s=job.finished_at - start, job=job.id,
             scenario=job.scenario, status=status, cached=job.cached)
+
+    def _persist(self, job: Job, record: SweepRecord) -> None:
+        """Store a finished record; a refusing disk degrades, never fails.
+
+        The record stays on the job (and goes to ``on_persist_error`` — in
+        practice the result store's in-memory fallback), so the client
+        still reads its result and a later flush can land it on disk.
+        """
+        try:
+            store_record(self.cache_dir, record, period_s=job.period_s,
+                         baselines=job.baselines, out_path=self.out_path)
+        except OSError as exc:
+            _PERSIST_ERRORS.inc()
+            _LOG.warning("event=persist_error %s",
+                         kv(job=job.id, scenario=job.scenario,
+                            error=str(exc)))
+            if self.on_persist_error is not None:
+                try:
+                    self.on_persist_error(record)
+                except Exception as fallback_exc:  # noqa: BLE001
+                    _LOG.error("event=persist_fallback_error %s",
+                               kv(job=job.id, error=str(fallback_exc)))
 
     # -- execution ----------------------------------------------------------
 
@@ -259,6 +366,9 @@ class JobQueue:
                     self._finish(job, "cancelled")
                 raise
             except Exception as exc:        # noqa: BLE001 — keep dispatching
+                _LOG.error("event=dispatch_error %s",
+                           kv(job=job.id, scenario=job.scenario,
+                              error=f"{type(exc).__name__}: {exc}"))
                 self._finish(job, "error", error=f"{type(exc).__name__}: "
                                                  f"{exc}")
 
@@ -279,35 +389,98 @@ class JobQueue:
             if cached is not None:
                 cached.cached = True
                 job.cached = True
-                store_record(self.cache_dir, cached, period_s=job.period_s,
-                             baselines=job.baselines, out_path=self.out_path)
+                self._persist(job, cached)
                 self._finish(job, "ok", record=cached)
                 return
         # Dispatch onto the shared warm pool and poll without blocking the
-        # event loop; the worker itself never raises (error records).
+        # event loop.  One overall deadline covers every attempt: a retry
+        # does not extend the client-visible timeout.
+        deadline = time.monotonic() + self.timeout_s
+        attempt = 0
+        while True:
+            outcome = await self._attempt(job, attempt, deadline)
+            if outcome is None:             # terminal inside the attempt
+                return
+            kind, detail = outcome
+            if kind == "ok":
+                return
+            # An infrastructure failure (lost worker, respawned pool,
+            # crashed deserialisation): retry with backoff, then give up.
+            if attempt >= self.retries:
+                self._finish(job, "error",
+                             error=f"worker lost after {attempt + 1} "
+                                   f"attempts ({detail})")
+                return
+            attempt += 1
+            job.retries_used = attempt
+            _JOB_RETRIES.labels(reason=kind).inc()
+            _LOG.warning("event=job_retry %s",
+                         kv(job=job.id, scenario=job.scenario,
+                            attempt=attempt, reason=kind, detail=detail))
+            backoff = min(2.0, 0.1 * (2 ** (attempt - 1))) \
+                * (0.5 + self._rng.random())
+            await asyncio.sleep(backoff)
+
+    async def _attempt(self, job: Job, attempt: int, deadline: float
+                       ) -> Optional[Tuple[str, str]]:
+        """One pool dispatch of ``job``.
+
+        Returns ``("ok", "")`` after finishing the job, a
+        ``(reason, detail)`` pair when the dispatch was lost to
+        infrastructure (caller retries), or ``None`` when the job reached a
+        terminal state here (timeout) or externally (cancelled).
+        """
         async_result = submit_scenario(job.scenario, self.pool_processes,
                                        period_s=job.period_s,
                                        baselines=job.baselines,
                                        trace_ctx=job.trace_ctx,
-                                       profile_hz=job.profile_hz)
-        deadline = time.monotonic() + self.timeout_s
+                                       profile_hz=job.profile_hz,
+                                       attempt=attempt)
+        # Snapshot *after* submit: warming a fresh pool bumps the
+        # generation, and that must not read as a mid-task respawn.
+        generation = pool_generation()
+        deaths = worker_deaths()
+        death_seen_at: Optional[float] = None
         while not async_result.ready():
-            # A timed-out or cancelled job surfaces immediately, but the
-            # pool task cannot be killed (terminating a worker would poison
-            # the shared pool) — so this dispatcher keeps draining it
-            # before taking the next job.  Otherwise abandoned tasks pile
-            # up in front of freshly dispatched ones, whose deadlines then
-            # expire before they ever run: a capacity leak behind a
-            # healthy-looking server.
-            if not job.done and time.monotonic() > deadline:
-                self._finish(job, "timeout",
-                             error=f"job exceeded {self.timeout_s:g}s; "
-                                   "the pool task is abandoned (its worker "
-                                   "drains before the next job dispatches)")
+            now = time.monotonic()
+            if now > deadline:
+                # True timeout semantics: the hung worker cannot be killed
+                # individually, so the pool is respawned — the slot is
+                # genuinely freed for the next job instead of leaking
+                # behind an abandoned task.
+                respawn_pool("job-timeout")
+                if not job.done:
+                    self._finish(job, "timeout",
+                                 error=f"job exceeded {self.timeout_s:g}s; "
+                                       "its worker was killed and the pool "
+                                       "respawned")
+                return None
+            if pool_generation() != generation:
+                # The pool was torn down underneath us (another job's
+                # timeout, a sweep's deadline): this AsyncResult will never
+                # complete.
+                return ("pool-respawn", "pool respawned mid-task")
+            if worker_deaths() > deaths:
+                # Some worker vanished; ours may be the casualty.  Give a
+                # short grace for a surviving result to land, then retry.
+                if death_seen_at is None:
+                    death_seen_at = now
+                elif now - death_seen_at > _DEATH_GRACE_S:
+                    return ("worker-death",
+                            "a pool worker died with a task in flight")
+            # A cancelled job's dispatcher keeps draining the worker before
+            # taking new work (returning early would over-commit the pool);
+            # the deadline above bounds even that drain.
             await asyncio.sleep(_POLL_INTERVAL_S)
-        if job.done:                        # timed out / cancelled: discard
-            return
-        record, counter_deltas, worker_spans, profile = async_result.get()
+        if job.done:                        # cancelled mid-flight: discard
+            return None
+        try:
+            record, counter_deltas, worker_spans, profile = \
+                async_result.get()
+        except Exception as exc:            # noqa: BLE001 — a worker that
+            # died mid-task (or injected chaos) surfaces here; the
+            # dispatcher must survive it and retry, not die with it.
+            return ("worker-crash", f"{type(exc).__name__}: {exc}")
         # Pipeline work happened in a pool worker whose perf counters and
         # span ring are invisible here; fold the deltas in (atomically) so
         # /metrics in this process reflects the work its jobs caused,
@@ -318,6 +491,6 @@ class JobQueue:
         TRACER.ingest(worker_spans)
         if profile is not None:
             job.profile_samples = PROFILER.ingest(profile)
-        store_record(self.cache_dir, record, period_s=job.period_s,
-                     baselines=job.baselines, out_path=self.out_path)
+        self._persist(job, record)
         self._finish(job, "ok" if record.ok else "error", record=record)
+        return ("ok", "")

@@ -34,12 +34,28 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ioutils import write_atomic
-from ..sweep.results import SweepRecord, add_append_hook, remove_append_hook
+from ..obs.logs import get_logger, kv
+from ..obs.metrics import REGISTRY
+from ..sweep.results import (
+    SweepRecord,
+    add_append_hook,
+    append_jsonl,
+    remove_append_hook,
+)
 
 __all__ = ["ResultStore", "IndexEntry", "index_path", "INDEX_SCHEMA"]
+
+_LOG = get_logger("serve.store")
+
+_FALLBACK_RECORDS = REGISTRY.counter(
+    "repro_store_fallback_records_total",
+    "result records held in memory because the disk refused them")
+_SIDECAR_ERRORS = REGISTRY.counter(
+    "repro_store_sidecar_write_errors_total",
+    "sidecar index writes the disk refused (index kept in memory)")
 
 INDEX_SCHEMA = 1
 
@@ -97,6 +113,13 @@ class IndexEntry:
                    for key, value in filters.items())
 
 
+def _matches(obj: Union[IndexEntry, SweepRecord],
+             filters: Dict[str, str]) -> bool:
+    """Filter check shared by index entries and in-memory fallback records
+    (both carry the same attribute names)."""
+    return all(getattr(obj, key) == value for key, value in filters.items())
+
+
 class ResultStore:
     """Indexed, query-friendly view of one JSONL result store.
 
@@ -112,6 +135,10 @@ class ResultStore:
         self._indexed_size = 0          # store bytes the index covers
         self._loaded_sidecar = False
         self._dirty = 0                 # entries indexed since last persist
+        #: Records the disk refused (ENOSPC, torn appends): queries merge
+        #: them in as the *newest* records so clients never lose a result
+        #: to a full disk; :meth:`flush` retries landing them.
+        self._fallback: List[SweepRecord] = []
         self._lock = threading.RLock()
         self.stats: Dict[str, int] = {
             "queries": 0,
@@ -133,10 +160,52 @@ class ResultStore:
         self.flush()
 
     def flush(self) -> None:
-        """Persist the sidecar now if batched updates are pending."""
+        """Persist pending state: retry in-memory fallback records onto
+        disk, then the sidecar if batched updates are pending."""
+        with self._lock:
+            fallback = list(self._fallback)
+        if fallback:
+            # Append outside the lock — append_jsonl fires _on_append,
+            # which refreshes (and the disk may be slow to refuse again).
+            try:
+                append_jsonl(self.path, fallback)
+            except OSError as exc:
+                _LOG.warning("event=fallback_flush_failed %s",
+                             kv(path=self.path, records=len(fallback),
+                                error=str(exc)))
+            else:
+                with self._lock:
+                    del self._fallback[:len(fallback)]
+                _LOG.warning("event=fallback_flushed %s",
+                             kv(path=self.path, records=len(fallback)))
         with self._lock:
             if self.persist_index and self._dirty:
                 self._write_sidecar()
+
+    # -- degraded mode -------------------------------------------------------
+
+    def remember(self, records: Sequence[SweepRecord]) -> None:
+        """Hold ``records`` in memory because the disk refused them.
+
+        They are served from every query path as the newest records; a
+        later :meth:`flush` (periodic, or the shutdown drain) retries
+        appending them to the store file.  Degradation, never a 500.
+        """
+        if not records:
+            return
+        with self._lock:
+            self._fallback.extend(records)
+        _FALLBACK_RECORDS.inc(len(records))
+        _LOG.warning("event=store_degraded %s",
+                     kv(records=len(records),
+                        held=self.fallback_count(),
+                        scenarios=",".join(sorted({r.scenario
+                                                   for r in records}))))
+
+    def fallback_count(self) -> int:
+        """Records currently held only in memory (gauge callback)."""
+        with self._lock:
+            return len(self._fallback)
 
     # -- index maintenance --------------------------------------------------
 
@@ -241,7 +310,15 @@ class ResultStore:
             {"schema": INDEX_SCHEMA, "store_size": self._indexed_size,
              "entries": [e.to_row() for e in self._entries]},
             separators=(",", ":")) + "\n"
-        write_atomic(self.index_file, payload, suffix=".json")
+        try:
+            write_atomic(self.index_file, payload, suffix=".json")
+        except OSError as exc:
+            # The sidecar is advisory: keep serving from the in-memory
+            # index, stay dirty so a later flush retries the write.
+            _SIDECAR_ERRORS.inc()
+            _LOG.warning("event=sidecar_write_error %s",
+                         kv(path=self.index_file, error=str(exc)))
+            return
         self._dirty = 0
         self.stats["index_writes"] += 1
 
@@ -286,12 +363,15 @@ class ResultStore:
         """A token that changes whenever query results may change (cache
         key component for response caches)."""
         with self._lock:
-            return f"{self._indexed_size}-{len(self._entries)}"
+            token = f"{self._indexed_size}-{len(self._entries)}"
+            if self._fallback:
+                token += f"-m{len(self._fallback)}"
+            return token
 
     def count(self) -> int:
         self.refresh()
         with self._lock:
-            return len(self._entries)
+            return len(self._entries) + len(self._fallback)
 
     def _fetch(self, entries: Sequence[IndexEntry]) -> List[SweepRecord]:
         """Seek-and-parse exactly the given records."""
@@ -343,13 +423,21 @@ class ResultStore:
             self.refresh()
             with self._lock:
                 self.stats["queries"] += 1
-                matches = [e for e in self._entries if e.matches(filters)]
+                matches: List[Union[IndexEntry, SweepRecord]] = \
+                    [e for e in self._entries if e.matches(filters)]
+                # In-memory fallback records (disk refused them) are the
+                # newest appends, so they go after the indexed entries.
+                matches.extend(r for r in self._fallback
+                               if _matches(r, filters))
                 if newest_first:
                     matches.reverse()
                 total = len(matches)
                 page = matches[offset:
                                None if limit is None else offset + limit]
-                return self._fetch(page), total
+                fetched = iter(self._fetch(
+                    [x for x in page if isinstance(x, IndexEntry)]))
+                return [next(fetched) if isinstance(x, IndexEntry) else x
+                        for x in page], total
 
         return self._recovering(run)
 
@@ -361,6 +449,14 @@ class ResultStore:
         self.refresh()
         with self._lock:
             self.stats["queries"] += 1
+            for record in reversed(self._fallback):
+                if record.scenario == scenario and \
+                        (status is None or record.status == status):
+                    # Synthetic entry (offset -1: not on disk) so ETag
+                    # computation keeps working in degraded mode.
+                    return IndexEntry(-1, 0, record.scenario, record.family,
+                                      record.scenario_hash,
+                                      record.code_version, record.status)
             for entry in reversed(self._entries):
                 if entry.scenario == scenario and \
                         (status is None or entry.status == status):
@@ -374,6 +470,10 @@ class ResultStore:
             self.refresh()
             with self._lock:
                 self.stats["queries"] += 1
+                for record in reversed(self._fallback):
+                    if record.scenario == scenario and \
+                            (status is None or record.status == status):
+                        return record
                 for entry in reversed(self._entries):
                     if entry.scenario == scenario and \
                             (status is None or entry.status == status):
@@ -394,12 +494,18 @@ class ResultStore:
             self.refresh()
             with self._lock:
                 self.stats["queries"] += 1
-                newest: Dict[str, IndexEntry] = {}
+                newest: Dict[str, Union[IndexEntry, SweepRecord]] = {}
                 for entry in self._entries:
                     if entry.matches(filters):
                         newest[entry.scenario] = entry
+                for record in self._fallback:     # newest: they override
+                    if _matches(record, filters):
+                        newest[record.scenario] = record
                 ordered = [newest[name] for name in sorted(newest)]
-                return self._fetch(ordered)
+                fetched = iter(self._fetch(
+                    [x for x in ordered if isinstance(x, IndexEntry)]))
+                return [next(fetched) if isinstance(x, IndexEntry) else x
+                        for x in ordered]
 
         return self._recovering(run)
 
@@ -407,4 +513,5 @@ class ResultStore:
         """Every scenario name with at least one stored record, sorted."""
         self.refresh()
         with self._lock:
-            return sorted({e.scenario for e in self._entries})
+            return sorted({e.scenario for e in self._entries}
+                          | {r.scenario for r in self._fallback})

@@ -8,6 +8,8 @@ import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..ioutils import append_line
+
 __all__ = ["SweepRecord", "append_jsonl", "load_jsonl", "summary_rows",
            "records_json", "default_store_path", "add_append_hook",
            "remove_append_hook"]
@@ -21,7 +23,7 @@ class SweepRecord:
     family: str
     scenario_hash: str
     code_version: str
-    status: str = "ok"                     # "ok" | "error"
+    status: str = "ok"                     # "ok" | "error" | "failed"
     cached: bool = False
     elapsed_s: float = 0.0
     #: Flat pipeline digest (:meth:`repro.pipeline.PipelineResult.summary`).
@@ -55,7 +57,7 @@ class SweepRecord:
         if bad or not data["scenario"]:
             raise ValueError(f"sweep record missing required fields: "
                              f"{bad or ['scenario']}")
-        if data.get("status", "ok") not in ("ok", "error"):
+        if data.get("status", "ok") not in ("ok", "error", "failed"):
             raise ValueError(f"sweep record has unknown status "
                              f"{data.get('status')!r}")
         for key, kind in (("summary", dict), ("error", str)):
@@ -109,12 +111,8 @@ def append_jsonl(path: str, records: Sequence[SweepRecord]) -> None:
     """
     if not records:
         return
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    payload = "".join(record.to_json() + "\n"
-                      for record in records).encode("utf-8")
-    with open(path, "ab", buffering=0) as handle:
-        handle.write(payload)
+    payload = "".join(record.to_json() + "\n" for record in records)
+    append_line(path, payload)
     for hook in list(_APPEND_HOOKS):
         hook(path, records)
 

@@ -8,12 +8,22 @@ their own instances).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import plan_from_view
 from repro.env import map_ens_lyon, map_platform
 from repro.netsim import PRIVATE_HOSTS, PUBLIC_HOSTS, build_ens_lyon
+from repro.obs import TRACER
 from repro.scenarios import registry_snapshot, restore_registry
+
+# The chaos harness (`make chaos`, the CI chaos job) exports
+# REPRO_CHAOS_SPAN_LOG so a failing seeded chaos run leaves a span log
+# behind for post-mortem rendering (`repro trace <log>`).
+_CHAOS_SPAN_LOG = os.environ.get("REPRO_CHAOS_SPAN_LOG")
+if _CHAOS_SPAN_LOG:
+    TRACER.configure(sample_rate=1.0, log_path=_CHAOS_SPAN_LOG)
 
 
 @pytest.fixture(autouse=True)

@@ -594,7 +594,7 @@ class TestJobQueue:
             queue.submit("star-switch-12")      # capacity freed
         asyncio.run(scenario())
 
-    def test_job_timeout_abandons_pool_task(self, tmp_path):
+    def test_job_timeout_kills_worker_and_respawns_pool(self, tmp_path):
         register_scenario("test-serve-slow", family="test-internal",
                           seconds=2.5)(_slow_builder)
         try:
@@ -606,11 +606,11 @@ class TestJobQueue:
                     job = queue.submit("test-serve-slow")
                     await _wait_done(queue, job, timeout=10.0)
                     assert job.status == "timeout"
-                    assert "abandoned" in job.error
+                    assert "worker was killed" in job.error
                 finally:
                     await queue.close()
             asyncio.run(scenario())
-            # Nothing was persisted for the abandoned run.
+            # Nothing was persisted for the timed-out run.
             assert not os.path.exists(default_store_path(str(tmp_path)))
         finally:
             unregister("test-serve-slow")
