@@ -5,13 +5,21 @@ PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
 
-.PHONY: verify tier1 chaos smoke-sweep smoke-sweep-fresh smoke-import \
+.PHONY: verify tier1 check chaos smoke-sweep smoke-sweep-fresh smoke-import \
 	smoke-serve sweep bench bench-smoke bench-check clean
 
-verify: tier1 smoke-sweep smoke-import smoke-serve
+verify: check tier1 smoke-sweep smoke-import smoke-serve
 
 tier1:
 	$(PYTEST) -x -q
+
+# Static AST invariant checks (repro.check): determinism of hash-critical
+# modules, Platform version-bump coverage, ioutils-only writes, async
+# safety under serve/, no silent excepts, clean pool boundaries.  Fails on
+# any finding that is neither noqa'd inline nor grandfathered in
+# check_baseline.json (refresh with `repro check --update-baseline`).
+check:
+	$(REPRO) check
 
 # The seeded chaos suite (tests/test_chaos.py + the fault-plan unit tests):
 # killed/hung pool workers, poisoned scenarios, breaker trips, SIGTERM

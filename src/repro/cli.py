@@ -59,6 +59,7 @@ from .dynamics import list_dynamic_scenarios, run_replay
 from .env import map_ens_lyon, map_platform
 from .faults import install_plan, load_plan
 from .gridml import write_gridml
+from .ioutils import write_atomic
 from .ingest import (
     DEFAULT_MANIFEST,
     DEFAULT_SIZES,
@@ -460,6 +461,25 @@ def build_parser() -> argparse.ArgumentParser:
     o_diff.add_argument("--top", type=int, default=15, metavar="N",
                         help="delta rows to print (default: 15)")
     _add_observability_arguments(o_diff)
+
+    p_check = sub.add_parser(
+        "check", help="static AST checks: determinism, version-bump, "
+                      "atomic-write, async-safety, silent-except, "
+                      "pool-boundary invariants")
+    p_check.add_argument("--root", default=None, metavar="DIR",
+                         help="source tree to scan (default: the installed "
+                              "repro package)")
+    p_check.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="report format (default: text)")
+    p_check.add_argument("--baseline", default=None, metavar="FILE",
+                         help="baseline JSON of grandfathered findings "
+                              "(default: check_baseline.json at the repo "
+                              "root, if present)")
+    p_check.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline to grandfather every "
+                              "current finding, then exit 0")
+    _add_observability_arguments(p_check)
     return parser
 
 
@@ -485,8 +505,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     config_text = render_config(plan)
     print(config_text)
     if args.config_out:
-        with open(args.config_out, "w", encoding="utf-8") as handle:
-            handle.write(config_text)
+        write_atomic(args.config_out, config_text)
         print(f"configuration written to {args.config_out}")
     return 0
 
@@ -786,8 +805,7 @@ def _profile_flame(args: argparse.Namespace, scenario) -> int:
           f"{capture.samples} samples at {args.hz} Hz "
           f"({PROFILER.mode or 'signal'} backend)")
     if args.flame_out:
-        with open(args.flame_out, "w", encoding="utf-8") as handle:
-            handle.write(collapsed)
+        write_atomic(args.flame_out, collapsed)
         print(f"collapsed stacks written to {args.flame_out} "
               f"(feed to flamegraph.pl)")
     lines = collapsed.splitlines()
@@ -1021,6 +1039,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import (load_baseline, render_json, render_text, run_check,
+                        write_baseline)
+
+    pkg_root = os.path.dirname(os.path.abspath(__file__))
+    root = args.root or pkg_root
+    baseline_path = args.baseline
+    if baseline_path is None:
+        # src/repro -> repo root in the development layout; simply absent
+        # (-> no baseline) for an installed package.
+        baseline_path = os.path.normpath(
+            os.path.join(pkg_root, os.pardir, os.pardir,
+                         "check_baseline.json"))
+    if args.update_baseline:
+        result = run_check(root)
+        write_baseline(baseline_path, result.findings)
+        print(f"baseline updated: {len(result.findings)} findings "
+              f"grandfathered into {baseline_path}")
+        return 0
+    baseline = load_baseline(baseline_path)
+    result = run_check(root, baseline=baseline)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
 def _load_recorded_imports(command: str) -> None:
     """Re-register manifest-recorded imported scenarios for this invocation.
 
@@ -1058,6 +1104,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "trace": _cmd_trace,
         "obs": _cmd_obs,
+        "check": _cmd_check,
     }
     _load_recorded_imports(args.command)
     try:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from xml.dom import minidom
 
+from ..ioutils import write_atomic
 from .model import GridDocument, GridProperty, MachineEntry, NetworkEntry, SiteEntry
 
 __all__ = ["to_element", "to_xml", "write_gridml"]
@@ -94,6 +95,7 @@ def to_xml(doc: GridDocument, pretty: bool = True) -> str:
 
 
 def write_gridml(doc: GridDocument, path: str, pretty: bool = True) -> None:
-    """Write a :class:`GridDocument` to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_xml(doc, pretty=pretty))
+    """Write a :class:`GridDocument` to ``path`` (atomically: an exported
+    topology must never be half a file, and the fault-injection hook in
+    :func:`~repro.ioutils.write_atomic` sees the site)."""
+    write_atomic(path, to_xml(doc, pretty=pretty), suffix=".xml")

@@ -151,6 +151,6 @@ def write_atomic(path: str, text: str, suffix: str = "") -> None:
     except BaseException:
         try:
             os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+        except OSError:          # repro: noqa[RC005] — best-effort tmp
+            pass                 # cleanup; this module must stay importable
+        raise                    # before the obs stack, so no logger here

@@ -38,6 +38,10 @@ from collections import Counter, deque
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from .logs import get_logger, kv
+
+_LOG = get_logger("obs.profile")
+
 __all__ = ["Profiler", "PROFILER", "DEFAULT_HZ", "collapse"]
 
 DEFAULT_HZ = 100
@@ -254,8 +258,11 @@ class Profiler:
                     signal.setitimer(signal.ITIMER_PROF, 0.0, 0.0)
                     if self._old_handler is not None:
                         signal.signal(signal.SIGPROF, self._old_handler)
-                except (ValueError, OSError):
-                    pass
+                except (ValueError, OSError) as exc:
+                    # Disarm raced interpreter teardown or a non-main
+                    # thread; the itimer dies with the process either way.
+                    _LOG.debug("event=profiler_disarm_failed %s",
+                               kv(error=type(exc).__name__))
                 self._old_handler = None
             elif self._stop_event is not None:
                 self._stop_event.set()

@@ -23,6 +23,7 @@ import contextlib
 import signal
 from typing import Tuple
 
+from ..obs.logs import get_logger, kv
 from .app import LRUCache, ReproApp
 from .catalog import catalog_etag, catalog_json, catalog_payload, \
     scenario_record
@@ -96,4 +97,5 @@ def run_server(app: ReproApp, host: str = "127.0.0.1", port: int = 8765,
     except KeyboardInterrupt:
         # Fallback for platforms without add_signal_handler: still exit
         # cleanly, just without the async drain.
-        pass
+        get_logger("serve").info("event=interrupt %s",
+                                 kv(drain="skipped"))

@@ -232,7 +232,10 @@ class ReproApp:
                              on_persist_error=lambda record:
                              self.store.remember([record]))
         self.cache = LRUCache(cache_capacity)
-        self.started_at = time.time()
+        self.started_at = time.time()     # wall clock: display only
+        # Uptime is a duration: derive it from the monotonic clock so an
+        # NTP step can't make /healthz report a negative (or huge) uptime.
+        self._started_mono = time.monotonic()
         self.requests_total = 0
         self.responses_by_status: Dict[int, int] = {}
         # Callback gauges over this app's live state.  gauge() re-binds the
@@ -281,7 +284,7 @@ class ReproApp:
         self.store.flush()
         _LOG.warning("event=drained %s",
                      kv(cut_off=cut_off, uptime_s=round(
-                         time.time() - self.started_at, 3)))
+                         time.monotonic() - self._started_mono, 3)))
 
     async def close(self) -> None:
         await self.jobs.close()
@@ -392,7 +395,8 @@ class ReproApp:
         # still answering every other request.
         return json_response({
             "status": "ok",
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
+            "started_at": self.started_at,
             "jobs_pending": self.jobs.pending(),
             "store_records": self.store.count(),
             "draining": self.draining,

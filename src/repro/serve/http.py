@@ -16,8 +16,21 @@ from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Dict, Optional
 from urllib.parse import parse_qsl, unquote, urlsplit
 
+from ..obs.logs import get_logger, kv
+from ..obs.metrics import REGISTRY
+
 __all__ = ["Request", "Response", "HTTPError", "json_response",
            "serve_http", "STATUS_PHRASES"]
+
+_LOG = get_logger("serve.http")
+
+#: Client connections that ended outside the normal request/response
+#: cycle — reset mid-request, cancelled on shutdown, or failing to close.
+#: Labelled so a chaos run can tell shed load from a sick network.
+_CONNECTION_ABORTS = REGISTRY.counter(
+    "repro_http_connection_aborts_total",
+    "client connections torn down outside a clean request cycle",
+    labels=("reason",))
 
 #: Hard limits keeping a misbehaving client from ballooning memory.
 MAX_HEADER_BYTES = 32 * 1024
@@ -192,14 +205,25 @@ async def _serve_connection(handler: Handler, reader: asyncio.StreamReader,
             await writer.drain()
             if not keep_alive:
                 return
-    except (ConnectionError, asyncio.CancelledError):
-        pass
+    except (ConnectionError, asyncio.CancelledError) as exc:
+        # Peer reset mid-cycle or the server is shutting down: the
+        # connection is gone either way, but count it so chaos runs can
+        # distinguish shed load from a sick network.
+        reason = ("cancelled" if isinstance(exc, asyncio.CancelledError)
+                  else "reset")
+        _CONNECTION_ABORTS.labels(reason=reason).inc()
+        _LOG.debug("event=connection_abort %s",
+                   kv(reason=reason, error=type(exc).__name__))
     finally:
         try:
             writer.close()
             await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        except (ConnectionError, OSError) as exc:
+            # The close handshake failed on an already-dead socket; the
+            # fd is released regardless.
+            _CONNECTION_ABORTS.labels(reason="close_failed").inc()
+            _LOG.debug("event=connection_close_failed %s",
+                       kv(error=type(exc).__name__))
 
 
 async def serve_http(handler: Handler, host: str = "127.0.0.1",

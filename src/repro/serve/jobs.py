@@ -111,6 +111,12 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Monotonic twins of the wall-clock stamps above.  The wall clock is
+    #: for display only; queue-wait and job durations are computed from
+    #: these so an NTP step can't produce negative waits or bogus spans.
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     #: Re-dispatches this job used (0 when the first attempt succeeded).
     retries_used: int = 0
     #: The submitting request's trace context (``None`` outside a sampled
@@ -152,6 +158,13 @@ class Job:
             "profile_hz": self.profile_hz,
             "profile_samples": self.profile_samples,
         }
+        # Monotonic-derived duration: immune to wall-clock steps, unlike
+        # finished_at - started_at which clients must treat as display.
+        if self.finished_mono is not None:
+            start_mono = (self.started_mono
+                          if self.started_mono is not None
+                          else self.submitted_mono)
+            payload["duration_s"] = round(self.finished_mono - start_mono, 6)
         if self.record is not None:
             payload["record"] = {
                 "scenario": self.record.scenario,
@@ -217,7 +230,10 @@ class JobQueue:
             try:
                 await task
             except asyncio.CancelledError:
-                pass
+                # The expected reply to the cancel() above; note it so a
+                # hung shutdown is diagnosable from the log alone.
+                _LOG.debug("event=dispatcher_cancelled %s",
+                           kv(task=task.get_name()))
         self._dispatchers = []
         for job in self._jobs.values():
             if not job.done:
@@ -308,7 +324,8 @@ class JobQueue:
         job.record = record
         job.error = error if error is not None else \
             (record.error if record is not None else None)
-        job.finished_at = time.time()
+        job.finished_at = time.time()     # wall clock: display only
+        job.finished_mono = time.monotonic()
         self.completed += 1
         # Feed the scenario's circuit breaker: successes close it, errors
         # and timeouts push it open, a cancellation releases any half-open
@@ -324,9 +341,11 @@ class JobQueue:
         # trace context.
         start = job.started_at if job.started_at is not None \
             else job.submitted_at
+        start_mono = job.started_mono if job.started_mono is not None \
+            else job.submitted_mono
         TRACER.record_external(
             "serve.job", job.trace_ctx, start_ts=start,
-            duration_s=job.finished_at - start, job=job.id,
+            duration_s=job.finished_mono - start_mono, job=job.id,
             scenario=job.scenario, status=status, cached=job.cached)
 
     def _persist(self, job: Job, record: SweepRecord) -> None:
@@ -374,8 +393,9 @@ class JobQueue:
 
     async def _run(self, job: Job) -> None:
         job.status = "running"
-        job.started_at = time.time()
-        wait_s = job.started_at - job.submitted_at
+        job.started_at = time.time()      # wall clock: display only
+        job.started_mono = time.monotonic()
+        wait_s = job.started_mono - job.submitted_mono
         _QUEUE_WAIT_SECONDS.observe(wait_s)
         TRACER.record_external("serve.queue_wait", job.trace_ctx,
                                start_ts=job.submitted_at, duration_s=wait_s,
@@ -476,7 +496,8 @@ class JobQueue:
             return None
         try:
             record, counter_deltas, worker_spans, profile = \
-                async_result.get()
+                async_result.get()   # repro: noqa[RC004] — .ready() was
+            # polled above, so this get() returns without blocking
         except Exception as exc:            # noqa: BLE001 — a worker that
             # died mid-task (or injected chaos) surfaces here; the
             # dispatcher must survive it and retry, not die with it.

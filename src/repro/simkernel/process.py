@@ -73,10 +73,8 @@ class Process(Event):
         # Detach from whatever we were waiting on: the stale wake-up must be
         # ignored when it eventually fires.
         if self._target is not None and self._target.callbacks is not None:
-            try:
+            if self._resume in self._target.callbacks:
                 self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
         self._target = None
         self._step(event._value, failed=True)
 

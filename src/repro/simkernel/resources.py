@@ -62,16 +62,13 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Give back a previously granted slot and wake the next waiter."""
-        try:
-            self.users.remove(request)
-        except ValueError:
+        if request not in self.users:
             # Releasing a never-granted or already-released request is benign:
             # drop it from the wait queue if it is still there.
-            try:
+            if request in self.queue:
                 self.queue.remove(request)
-            except ValueError:
-                pass
             return
+        self.users.remove(request)
         while self.queue and len(self.users) < self.capacity:
             nxt = self.queue.popleft()
             self.users.append(nxt)

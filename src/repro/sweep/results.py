@@ -95,10 +95,8 @@ def add_append_hook(hook: Callable[[str, Sequence[SweepRecord]], None]) -> None:
 def remove_append_hook(hook: Callable[[str, Sequence[SweepRecord]], None]
                        ) -> None:
     """Drop a previously registered post-append callback if present."""
-    try:
+    if hook in _APPEND_HOOKS:
         _APPEND_HOOKS.remove(hook)
-    except ValueError:
-        pass
 
 
 def append_jsonl(path: str, records: Sequence[SweepRecord]) -> None:

@@ -1,0 +1,10 @@
+"""Clean fixture: no rule fires here."""
+import time
+
+
+def elapsed(start):
+    return time.monotonic() - start
+
+
+def ordered(items):
+    return sorted(set(items))

@@ -1,0 +1,17 @@
+"""Noqa fixture: every violation here carries an inline suppression."""
+import time
+
+
+def stamp():
+    return time.time()               # repro: noqa[RC001]
+
+
+def save(path, text):
+    with open(path, "w") as handle:  # repro: noqa
+        handle.write(text)
+
+
+def wrong_rule(path, text):
+    # A noqa for a different rule must NOT suppress RC003:
+    with open(path, "a") as handle:  # repro: noqa[RC001]
+        handle.write(text)

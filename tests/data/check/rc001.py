@@ -1,0 +1,24 @@
+"""RC001 fixture: nondeterminism in a module with no allowlist entry."""
+import os
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def token():
+    return os.urandom(8)
+
+
+def jitter():
+    return random.random()
+
+
+def bare_rng():
+    return random.Random()
+
+
+def seeded_rng():                    # fine: explicit seed
+    return random.Random(42)

@@ -1,0 +1,36 @@
+"""RC002 fixture: a Platform with bumping and non-bumping mutators."""
+
+
+class Platform:
+    def __init__(self):
+        self.nodes = {}
+        self.links = {}
+        self._version = 0
+        self._route_cache = {}
+
+    def _bump(self):
+        self._version += 1
+
+    def good_direct(self, name, bw):
+        self.links[name] = bw
+        self._version += 1
+
+    def good_delegated(self, name):
+        del self.nodes[name]
+        self._bump()
+
+    def bad_forgot_bump(self, name, bw):
+        self.links[name] = bw
+
+    def bad_alias_write(self, name, bw):
+        node = self.nodes[name]
+        node.bandwidth = bw
+
+    def bad_mutator_call(self, name):
+        self.nodes.pop(name)
+
+    def cache_only(self, pair):
+        self._route_cache[pair] = None
+
+    def read_only(self, name):
+        return self.links[name]

@@ -1,0 +1,16 @@
+"""RC003 fixture: raw writes outside ioutils."""
+import os
+
+
+def save(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def swap(src, dst):
+    os.replace(src, dst)
+
+
+def read(path):                      # fine: reads are not persistence
+    with open(path) as handle:
+        return handle.read()

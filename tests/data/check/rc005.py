@@ -1,0 +1,26 @@
+"""RC005 fixture: exception handlers that swallow silently."""
+
+
+def swallow_value():
+    try:
+        risky()
+    except ValueError:
+        pass
+
+
+def swallow_any():
+    try:
+        risky()
+    except Exception:
+        ...
+
+
+def handled():                       # fine: the handler does something
+    try:
+        risky()
+    except ValueError as exc:
+        print(exc)
+
+
+def risky():
+    raise ValueError("boom")

@@ -1,0 +1,15 @@
+"""RC006 fixture: lambdas/closures/bound methods at the pool boundary."""
+
+
+def worker(x):
+    return x
+
+
+def dispatch(pool, items, obj):
+    def helper(x):
+        return x
+
+    pool.apply_async(worker, (items,))        # fine: module-level callable
+    pool.apply_async(lambda x: x, (items,))
+    pool.apply_async(helper, (items,))
+    pool.apply_async(obj.run, (items,))

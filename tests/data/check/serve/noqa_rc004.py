@@ -1,0 +1,6 @@
+"""Noqa fixture: suppressed RC004 violation under serve/."""
+import time
+
+
+async def waived():
+    time.sleep(0.0)                  # repro: noqa[RC004]

@@ -1,0 +1,19 @@
+"""RC004 fixture: blocking calls inside async def under serve/."""
+import subprocess
+import time
+
+
+async def handler(pool_result):
+    time.sleep(0.1)
+    subprocess.run(["true"])
+    data = open("x").read()
+    value = pool_result.get()
+    return data, value
+
+
+async def clean(queue):
+    return await queue.get()         # fine: awaited asyncio queue
+
+
+def sync_helper():                   # fine: not async
+    time.sleep(0.1)

@@ -1,0 +1,13 @@
+"""RC001 fixture: set-iteration order in a hash-critical path (sweep/)."""
+
+
+def order(items):
+    total = 0
+    for item in {1, 2, 3}:
+        total += item
+    names = [n for n in set(items)]
+    return total, names
+
+
+def sorted_is_fine(items):
+    return [n for n in sorted(set(items))]

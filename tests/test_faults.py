@@ -227,3 +227,22 @@ class TestWriteFaults:
         path = str(tmp_path / "x.jsonl")
         append_line(path, "fine\n")
         assert _read(path) == "fine\n"
+
+    def test_gridml_export_site_is_fault_covered(self, tmp_path):
+        """Regression: ``write_gridml`` goes through ``write_atomic``.
+
+        The exporter used to raw-``open(path, "w")`` — a write site
+        invisible to fault injection that could leave half an XML file.
+        ENOSPC at the site must now leave *nothing*, and the retry after
+        the disk "recovers" must produce a complete, parseable document.
+        """
+        from repro.gridml import GridDocument, from_xml, write_gridml
+        path = str(tmp_path / "export.xml")
+        install_plan(FaultPlan(specs=(
+            FaultSpec(kind="enospc", match="export.xml", times=1),)))
+        with pytest.raises(OSError):
+            write_gridml(GridDocument(label="Grid1"), path)
+        assert not os.path.exists(path)              # no partial export
+        assert os.listdir(str(tmp_path)) == []       # no tmp litter either
+        write_gridml(GridDocument(label="Grid1"), path)   # fault exhausted
+        assert from_xml(_read(path)).label == "Grid1"
