@@ -25,9 +25,11 @@ check:
 # killed/hung pool workers, poisoned scenarios, breaker trips, SIGTERM
 # drain, injected ENOSPC/torn-tail write failures.  Every fault is driven
 # by a deterministic FaultPlan, so failures reproduce exactly.  Spans land
-# in CHAOS_spans.jsonl for post-mortem rendering (repro trace).
+# in CHAOS_spans.jsonl for post-mortem rendering (repro trace); flight
+# recorder bundles (breaker-open forensics) land in CHAOS_flight/.
 chaos:
-	REPRO_CHAOS_SPAN_LOG=CHAOS_spans.jsonl $(PYTEST) -x -q \
+	REPRO_CHAOS_SPAN_LOG=CHAOS_spans.jsonl \
+	REPRO_CHAOS_FLIGHT_DIR=CHAOS_flight $(PYTEST) -x -q \
 		tests/test_faults.py tests/test_chaos.py
 
 # Four small scenarios (tagged "smoke"), sharded over two workers.  Cached
@@ -77,7 +79,8 @@ bench:
 bench-smoke:
 	$(PYTEST) benchmarks/test_bench_fastpath.py \
 		benchmarks/test_bench_obs_overhead.py \
-		benchmarks/test_bench_profile_overhead.py -q -s
+		benchmarks/test_bench_profile_overhead.py \
+		benchmarks/test_bench_runtime_overhead.py -q -s
 
 # Gate against the committed perf baseline (>25% regression fails).
 bench-check: bench-smoke
@@ -86,4 +89,4 @@ bench-check: bench-smoke
 clean:
 	rm -rf .sweep-cache .pytest_cache .benchmarks BENCH_results.json \
 		BENCH_spans.jsonl BENCH_profiles CHAOS_spans.jsonl \
-		CHAOS_spans.jsonl.1
+		CHAOS_spans.jsonl.1 CHAOS_flight .flight

@@ -69,6 +69,7 @@ def main(argv=None) -> int:
 
     if args.update:
         baseline = {
+            "schema": results.get("schema", 1),
             "benchmark": args.benchmark,
             "wall_s": current["wall_s"],
             "counters": {key: current["counters"][key]
@@ -82,6 +83,17 @@ def main(argv=None) -> int:
         return 0
 
     baseline = _load(args.baseline)
+    # A missing key means the file predates versioning: treat as schema 1.
+    results_schema = results.get("schema", 1)
+    baseline_schema = baseline.get("schema", 1)
+    if results_schema != baseline_schema:
+        raise SystemExit(
+            f"schema mismatch: results are schema {results_schema} but the "
+            f"committed baseline is schema {baseline_schema} — the result "
+            f"format changed and comparing across versions would be "
+            f"meaningless; refresh the baseline with:\n"
+            f"    make bench && python benchmarks/check_bench_regression.py "
+            f"--update")
     if baseline["benchmark"] != args.benchmark:
         raise SystemExit("baseline tracks a different benchmark; "
                          "re-run with --update")

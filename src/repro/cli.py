@@ -27,11 +27,16 @@ the NWS configuration, check its quality):
                   browse the catalog, query the indexed result store, and
                   submit pipeline runs over HTTP;
 * ``trace``     — render the traces of a JSONL span log as ASCII
-                  timelines (per-stage durations, perf-counter deltas);
+                  timelines (per-stage durations, perf-counter deltas),
+                  or export them as a Chrome-trace document for Perfetto
+                  (``--format chrome``);
 * ``obs``       — trace analytics over a span log: ``report`` (per-op
-                  p50/p95/p99 + self time, critical paths, SLO verdicts)
-                  and ``diff`` (attribute the latency delta between two
-                  logs to specific ops).
+                  p50/p95/p99 + self time, critical paths, SLO verdicts),
+                  ``diff`` (attribute the latency delta between two logs
+                  to specific ops) and ``dump`` (trigger a
+                  flight-recorder forensics bundle);
+* ``top``       — live ANSI dashboard over a running ``serve`` process,
+                  polling ``/metrics/history`` and ``/healthz``.
 
 Every subcommand takes the observability flags ``--log-level`` (structured
 key=value logging), ``--trace-sample`` (span sampling rate; ``serve``
@@ -387,6 +392,21 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="SIGTERM graceful-drain budget for in-flight "
                               "jobs (default: 10)")
+    p_serve.add_argument("--flight-dir", default=None, metavar="DIR",
+                         help="arm the flight recorder: dump forensics "
+                              "bundles (spans, metrics history, health) to "
+                              "DIR on SLO breach, breaker open, persist "
+                              "fallback, SIGTERM or POST /debug/dump "
+                              "(default: disabled)")
+    p_serve.add_argument("--history-interval", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="metrics-history snapshot interval backing "
+                              "GET /metrics/history (default: 5)")
+    p_serve.add_argument("--runtime-interval", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="process runtime sampler interval (RSS, CPU, "
+                              "fds, GC, loop lag); 0 disables "
+                              "(default: 1)")
     _add_fault_argument(p_serve)
     # The server defaults to tracing every request: its spans are the point
     # of GET /trace/{id}, and the overhead benchmark bounds the cost.
@@ -424,6 +444,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="render only this trace")
     p_trace.add_argument("--limit", type=int, default=10, metavar="N",
                          help="most recent traces to render (default: 10)")
+    p_trace.add_argument("--format", choices=("ascii", "chrome"),
+                         default="ascii",
+                         help="ascii timelines, or a Chrome-trace JSON "
+                              "document loadable in Perfetto / "
+                              "chrome://tracing (default: ascii)")
+    p_trace.add_argument("--out", default=None, metavar="PATH",
+                         help="with --format chrome: write the trace "
+                              "document to PATH instead of stdout")
     _add_observability_arguments(p_trace)
 
     p_obs = sub.add_parser(
@@ -461,6 +489,35 @@ def build_parser() -> argparse.ArgumentParser:
     o_diff.add_argument("--top", type=int, default=15, metavar="N",
                         help="delta rows to print (default: 15)")
     _add_observability_arguments(o_diff)
+    o_dump = obs_sub.add_parser(
+        "dump", help="trigger a flight-recorder forensics bundle: POST "
+                     "/debug/dump on a running server, or dump this "
+                     "process locally")
+    o_dump.add_argument("--url", default=None, metavar="URL",
+                        help="base URL of a running repro serve started "
+                             "with --flight-dir (e.g. "
+                             "http://127.0.0.1:8765)")
+    o_dump.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="dump a bundle of *this* CLI process into DIR "
+                             "(no server involved)")
+    _add_observability_arguments(o_dump)
+
+    p_top = sub.add_parser(
+        "top", help="live ANSI dashboard over a running serve process "
+                    "(req/s, route latencies, pool, RSS, breakers)")
+    p_top.add_argument("--url", required=True, metavar="URL",
+                       help="base URL of a running repro serve "
+                            "(e.g. http://127.0.0.1:8765)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh interval (default: 2)")
+    p_top.add_argument("--iterations", type=int, default=0, metavar="N",
+                       help="frames to render before exiting; 0 runs until "
+                            "interrupted (default: 0)")
+    p_top.add_argument("--window", type=int, default=120, metavar="SECONDS",
+                       help="metrics-history window each frame derives "
+                            "rates/percentiles from (default: 120)")
+    _add_observability_arguments(p_top)
 
     p_check = sub.add_parser(
         "check", help="static AST checks: determinism, version-bump, "
@@ -848,6 +905,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     spans = _load_spans_or_fail(args.source)
     if spans is None:
         return 1
+    if args.format == "chrome":
+        from .obs.export import chrome_trace_json
+
+        if args.trace_id is not None:
+            spans = [s for s in spans
+                     if s.get("trace_id") == args.trace_id]
+            if not spans:
+                print(f"no spans for trace {args.trace_id!r} in "
+                      f"{args.source}", file=sys.stderr)
+                return 1
+        document = chrome_trace_json(spans)
+        if args.out:
+            write_atomic(args.out, document)
+            print(f"wrote {len(spans)} span(s) as Chrome trace events to "
+                  f"{args.out} (open in Perfetto or chrome://tracing)",
+                  file=sys.stderr)
+        else:
+            print(document, end="")
+        return 0
     if args.trace_id is not None:
         selected = [s for s in spans if s.get("trace_id") == args.trace_id]
         if not selected:
@@ -909,7 +985,12 @@ def _parse_slo_spec(spec: str):
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    """Trace analytics over span logs: ``report`` and ``diff``."""
+    """Trace analytics over span logs: ``report``, ``diff``, ``dump``."""
+    if args.obs_command == "dump":
+        # The dump namespace has no --top; handle it before the shared
+        # validation below.
+        return _cmd_obs_dump(args)
+
     from .obs.analyze import aggregate_ops, critical_path, diff_traces
     from .obs.slo import DEFAULT_SLOS, evaluate_spans
 
@@ -1007,6 +1088,75 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_json(url: str, timeout_s: float = 10.0,
+                method: str = "GET") -> Dict[str, object]:
+    """GET/POST ``url`` and decode the JSON body (urllib errors are OSError,
+    so ``main`` maps failures to exit 2 with a readable message)."""
+    import urllib.request
+
+    request = urllib.request.Request(url, method=method)
+    with urllib.request.urlopen(request, timeout=timeout_s) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"unexpected non-object JSON from {url}")
+    return payload
+
+
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    """Trigger a flight-recorder bundle, remotely or in-process."""
+    if bool(args.url) == bool(args.flight_dir):
+        raise ValueError("obs dump needs exactly one of --url (dump a "
+                         "running server) or --flight-dir (dump this "
+                         "process)")
+    if args.url:
+        base = args.url.rstrip("/")
+        payload = _fetch_json(f"{base}/debug/dump", method="POST")
+        print(f"flight bundle written by {base}: {payload.get('path')}")
+        return 0
+    from .obs.flightrec import FLIGHT
+
+    FLIGHT.configure(flight_dir=args.flight_dir)
+    path = FLIGHT.dump("manual")
+    if path is None:
+        print(f"error: flight dump into {args.flight_dir} failed "
+              f"(see log)", file=sys.stderr)
+        return 1
+    print(f"flight bundle written: {path}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard: poll /metrics/history + /healthz and render."""
+    import time
+
+    from .obs.export import render_dashboard
+
+    if args.interval <= 0:
+        raise ValueError("--interval must be positive")
+    if args.iterations < 0:
+        raise ValueError("--iterations must be >= 0")
+    if args.window < 1:
+        raise ValueError("--window must be >= 1")
+    base = args.url.rstrip("/")
+    frame = 0
+    while True:
+        history = _fetch_json(f"{base}/metrics/history?window={args.window}")
+        healthz = _fetch_json(f"{base}/healthz")
+        screen = render_dashboard(history, healthz, url=base)
+        if args.iterations != 1:
+            # Interactive mode: clear and home before each frame so the
+            # dashboard repaints in place instead of scrolling.
+            print("\x1b[2J\x1b[H", end="")
+        print(screen, flush=True)
+        frame += 1
+        if args.iterations and frame >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise ValueError("--jobs must be >= 1")
@@ -1022,12 +1172,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ValueError("--breaker-cooldown must be >= 0")
     if args.drain_timeout < 0:
         raise ValueError("--drain-timeout must be >= 0")
+    if args.history_interval <= 0:
+        raise ValueError("--history-interval must be positive")
+    if args.runtime_interval < 0:
+        raise ValueError("--runtime-interval must be >= 0")
     _install_faults(args)
     app = ReproApp(cache_dir=args.cache_dir, store_path=args.out,
                    pool_processes=args.jobs, job_timeout_s=args.job_timeout,
                    queue_size=args.queue_size, job_retries=args.job_retries,
                    breaker_threshold=args.breaker_threshold,
-                   breaker_cooldown_s=args.breaker_cooldown)
+                   breaker_cooldown_s=args.breaker_cooldown,
+                   flight_dir=args.flight_dir,
+                   history_interval_s=args.history_interval,
+                   runtime_interval_s=args.runtime_interval)
 
     def announce(port: int) -> None:
         # Machine-parseable: the smoke harness starts `--port 0` and reads
@@ -1104,6 +1261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "trace": _cmd_trace,
         "obs": _cmd_obs,
+        "top": _cmd_top,
         "check": _cmd_check,
     }
     _load_recorded_imports(args.command)

@@ -20,12 +20,30 @@ On top of the raw telemetry, the analysis layer:
 * :mod:`repro.obs.slo` — declarative latency/error-rate objectives with
   burn-rate computation and machine-readable verdicts.
 
+And the runtime-telemetry layer (PR 10):
+
+* :data:`RUNTIME` (:mod:`repro.obs.runtime`) — a daemon-thread process
+  sampler (RSS/CPU/fds/GC pauses/event-loop lag) with a worker-side
+  :func:`task_runtime` capture shipped home like perf counters.
+* :class:`MetricsHistory` (:mod:`repro.obs.history`) — a bounded ring of
+  registry snapshots with windowed rate/quantile derivation
+  (``GET /metrics/history``).
+* :data:`FLIGHT` (:mod:`repro.obs.flightrec`) — the flight recorder:
+  forensics bundles on SLO breach, breaker open, persist fallback,
+  SIGTERM or demand.
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto span export and the
+  ``repro top`` dashboard renderer.
+
 See README.md, "Observability".
 """
 
 from __future__ import annotations
 
 from .analyze import aggregate_ops, critical_path, diff_traces, percentile
+from .export import chrome_trace, chrome_trace_json, render_dashboard, \
+    sparkline
+from .flightrec import FLIGHT, FlightRecorder
+from .history import MetricsHistory, percentile_from_buckets
 from .logs import get_logger, kv, setup_logging, to_json_line
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -35,6 +53,7 @@ from .metrics import (
     register_perf_counters,
 )
 from .profile import PROFILER, Profiler, collapse
+from .runtime import RUNTIME, RuntimeSampler, task_runtime
 from .slo import DEFAULT_SLOS, SLO, SLOEngine, evaluate_spans
 from .timeline import group_traces, load_span_log, render_timeline
 from .trace import NULL_SPAN, Span, TRACER, Tracer
@@ -44,6 +63,10 @@ __all__ = [
     "REGISTRY", "MetricsRegistry", "Metric", "DEFAULT_BUCKETS",
     "register_perf_counters",
     "PROFILER", "Profiler", "collapse",
+    "RUNTIME", "RuntimeSampler", "task_runtime",
+    "MetricsHistory", "percentile_from_buckets",
+    "FLIGHT", "FlightRecorder",
+    "chrome_trace", "chrome_trace_json", "render_dashboard", "sparkline",
     "aggregate_ops", "critical_path", "diff_traces", "percentile",
     "SLO", "SLOEngine", "DEFAULT_SLOS", "evaluate_spans",
     "setup_logging", "get_logger", "kv", "to_json_line",

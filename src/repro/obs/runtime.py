@@ -1,0 +1,449 @@
+"""Process runtime telemetry: RSS, CPU, fds, GC pauses, event-loop lag.
+
+The spans/metrics/profiles of PRs 6-7 watch *requests*; nothing watched
+the *process*.  :class:`RuntimeSampler` closes that gap with a daemon
+thread (never the serve event loop — RC004) sampling at a configurable
+interval:
+
+* **RSS / CPU / open fds** — read from ``/proc/self`` where available,
+  falling back to :func:`resource.getrusage` (peak RSS only) elsewhere.
+  Exported under the standard Prometheus process-metric names
+  (``process_resident_memory_bytes``, ``process_cpu_seconds_total``,
+  ``process_open_fds``) so off-the-shelf dashboards work unchanged.
+* **GC collections + pause wall time per generation** — a
+  :data:`gc.callbacks` hook times every collection, surfacing the pauses
+  that show up as mystery latency spikes in request histograms.
+* **event-loop lag** — :meth:`RuntimeSampler.arm_loop_monitor` schedules
+  a repeating callback and measures how late the loop actually ran it;
+  armed only under serve, where a starved loop means every request is
+  queueing behind something.
+
+Pool workers run the same machinery in miniature: :func:`task_runtime`
+wraps one task, tracks its peak RSS / CPU / GC deltas in a short-interval
+thread, and ships the result home over the ``TaskContext`` result channel
+exactly like perf-counter deltas (see ``sweep/runner.py``);
+:meth:`RuntimeSampler.ingest` folds worker payloads into
+``repro_worker_*`` series on the parent.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from .logs import get_logger, kv
+from .metrics import REGISTRY, MetricsRegistry
+
+_LOG = get_logger("obs.runtime")
+
+__all__ = ["RuntimeSampler", "RUNTIME", "task_runtime", "rss_bytes",
+           "cpu_seconds", "open_fds"]
+
+#: Default sampler cadence; 1 Hz keeps overhead under the <2% benchmark
+#: gate while still catching second-scale RSS ramps.
+DEFAULT_INTERVAL_S = 1.0
+#: Worker task sampler cadence — tasks are short, so the peak tracker
+#: polls more often than the process sampler.
+TASK_INTERVAL_S = 0.05
+_GC_GENERATIONS = (0, 1, 2)
+
+
+# ---------------------------------------------------------------------------
+# raw process readings (Linux /proc first, resource fallback)
+
+
+def rss_bytes() -> float:
+    """Current resident set size in bytes (best effort, 0.0 if unknown)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) * 1024.0
+    except (OSError, ValueError, IndexError) as exc:
+        _LOG.debug("event=proc_status_unreadable %s",
+                   kv(error=type(exc).__name__))
+    try:
+        import resource
+        # ru_maxrss is the *peak*, in kB on Linux — a coarse stand-in
+        # where /proc is unavailable.
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) \
+            * 1024.0
+    except Exception:   # noqa: BLE001 — no resource module either
+        return 0.0
+
+
+def cpu_seconds() -> float:
+    """Total user+system CPU seconds consumed by this process."""
+    try:
+        with open("/proc/self/stat", "r", encoding="ascii") as handle:
+            fields = handle.read().rsplit(")", 1)[1].split()
+        # fields[11]/[12] are utime/stime (fields 14/15 of the full line,
+        # minus the 2 consumed before the comm close-paren).
+        ticks = float(fields[11]) + float(fields[12])
+        return ticks / float(os.sysconf("SC_CLK_TCK"))
+    except (OSError, ValueError, IndexError) as exc:
+        _LOG.debug("event=proc_stat_unreadable %s",
+                   kv(error=type(exc).__name__))
+    try:
+        import resource
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return float(usage.ru_utime + usage.ru_stime)
+    except Exception:   # noqa: BLE001 — no resource module either
+        return 0.0
+
+
+def open_fds() -> float:
+    """Open file descriptors for this process (0.0 where unsupported)."""
+    try:
+        return float(len(os.listdir("/proc/self/fd")))
+    except OSError:
+        return 0.0
+
+
+# ---------------------------------------------------------------------------
+# GC watch
+
+
+class _GCWatch:
+    """Counts collections and accumulates pause wall time per generation.
+
+    Installed as a :data:`gc.callbacks` hook; the interpreter calls it
+    synchronously around every collection, so the "start" timestamp and
+    the "stop" accumulation pair up without locking (callbacks run under
+    the GIL, never concurrently with themselves).
+    """
+
+    def __init__(self) -> None:
+        self.collections: List[int] = [0, 0, 0]
+        self.pause_s: List[float] = [0.0, 0.0, 0.0]
+        self._started = 0.0
+        self._installed = False
+
+    def _callback(self, phase: str, info: Dict[str, int]) -> None:
+        if phase == "start":
+            self._started = time.perf_counter()
+        elif phase == "stop":
+            generation = info.get("generation", 0)
+            if 0 <= generation <= 2:
+                self.collections[generation] += 1
+                self.pause_s[generation] += \
+                    time.perf_counter() - self._started
+
+    def install(self) -> None:
+        if not self._installed:
+            gc.callbacks.append(self._callback)
+            self._installed = True
+
+    def remove(self) -> None:
+        if self._installed:
+            try:
+                gc.callbacks.remove(self._callback)
+            except ValueError:
+                _LOG.debug("event=gc_callback_already_removed")
+            self._installed = False
+
+
+# ---------------------------------------------------------------------------
+# the process sampler
+
+
+class RuntimeSampler:
+    """Samples process runtime stats on a daemon thread (see module doc).
+
+    Mirrors the :class:`repro.obs.profile.Profiler` thread idiom: a
+    generation counter bumps on every start/stop so a stale sampler
+    thread that wakes after a restart exits instead of double-sampling.
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S,
+                 registry: MetricsRegistry = REGISTRY) -> None:
+        self._lock = threading.Lock()
+        self._registry = registry
+        self._generation = 0
+        self._stop_event: Optional[threading.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop_handle = None
+        self._loop_generation = 0
+        self.interval_s = float(interval_s)
+        self.gc_watch = _GCWatch()
+        self.peak_rss = 0.0
+        self.loop_lag_s = 0.0
+        self.samples_taken = 0
+        self.sample_errors = 0
+        self.last: Dict[str, float] = {}
+        self._register_metrics()
+
+    # -- metric surface ------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        reg = self._registry
+        reg.gauge("process_resident_memory_bytes",
+                  "Resident set size of this process in bytes.",
+                  fn=rss_bytes)
+        reg.counter("process_cpu_seconds_total",
+                    "Total user+system CPU time consumed, in seconds.",
+                    fn=cpu_seconds)
+        reg.gauge("process_open_fds",
+                  "Open file descriptors held by this process.",
+                  fn=open_fds)
+        reg.gauge("repro_runtime_threads",
+                  "Live Python threads in this process.",
+                  fn=lambda: float(threading.active_count()))
+        reg.gauge("repro_runtime_peak_rss_bytes",
+                  "Peak RSS observed by the runtime sampler.",
+                  fn=lambda: self.peak_rss)
+        reg.gauge("repro_loop_lag_seconds",
+                  "Scheduled-callback drift of the asyncio event loop "
+                  "(0 when no loop monitor is armed).",
+                  fn=lambda: self.loop_lag_s)
+        collections = reg.counter(
+            "repro_gc_collections_total",
+            "Garbage collections observed, per generation.",
+            labels=("generation",))
+        pauses = reg.counter(
+            "repro_gc_pause_seconds_total",
+            "Wall time spent inside GC collections, per generation.",
+            labels=("generation",))
+        watch = self.gc_watch
+        for generation in _GC_GENERATIONS:
+            collections.labels(generation=str(generation)).set_callback(
+                lambda g=generation: float(watch.collections[g]))
+            pauses.labels(generation=str(generation)).set_callback(
+                lambda g=generation: watch.pause_s[g])
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self) -> Dict[str, float]:
+        """Take one snapshot, updating ``last`` and the peak-RSS gauge."""
+        try:
+            rss = rss_bytes()
+            snapshot = {
+                "ts": time.time(),
+                "rss_bytes": rss,
+                "cpu_s": cpu_seconds(),
+                "open_fds": open_fds(),
+                "threads": float(threading.active_count()),
+                "gc_collections": float(sum(self.gc_watch.collections)),
+                "gc_pause_s": float(sum(self.gc_watch.pause_s)),
+                "loop_lag_s": self.loop_lag_s,
+            }
+        except Exception:   # noqa: BLE001 — a torn /proc read must not
+            # kill the sampler thread; count it and carry on.
+            self.sample_errors += 1
+            return dict(self.last)
+        with self._lock:
+            if rss > self.peak_rss:
+                self.peak_rss = rss
+            self.last = snapshot
+            self.samples_taken += 1
+        return snapshot
+
+    def _loop(self, generation: int, interval: float,
+              stop: threading.Event) -> None:
+        while not stop.wait(interval):
+            with self._lock:
+                if generation != self._generation:
+                    return
+            self.sample()
+
+    def start(self, interval_s: Optional[float] = None) -> None:
+        """Start (or restart) the sampler thread; idempotent."""
+        with self._lock:
+            if interval_s is not None:
+                self.interval_s = float(interval_s)
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._generation += 1
+            stop = threading.Event()
+            thread = threading.Thread(
+                target=self._loop,
+                args=(self._generation, self.interval_s, stop),
+                name="repro-runtime-sampler", daemon=True)
+            self._stop_event = stop
+            self._thread = thread
+        self.gc_watch.install()
+        self._register_metrics()   # re-bind callbacks after a reset()
+        self.sample()              # an immediate first data point
+        thread.start()
+
+    def stop(self) -> None:
+        thread = None
+        with self._lock:
+            self._generation += 1
+            if self._stop_event is not None:
+                self._stop_event.set()
+                thread = self._thread
+            self._stop_event = None
+            self._thread = None
+        self.gc_watch.remove()
+        if thread is not None:
+            thread.join(timeout=1.0)
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # -- event-loop lag ------------------------------------------------------
+
+    def arm_loop_monitor(self, loop, interval_s: float = 0.25) -> None:
+        """Measure how late ``loop`` runs a callback scheduled every
+        ``interval_s`` — the drift *is* the event-loop lag.  Must be
+        called from the loop's thread (serve's ``app.start()``)."""
+        self._loop_generation += 1
+        generation = self._loop_generation
+
+        def tick(expected: float) -> None:
+            if generation != self._loop_generation:
+                return
+            now = loop.time()
+            self.loop_lag_s = max(0.0, now - expected)
+            self._loop_handle = loop.call_later(
+                interval_s, tick, now + interval_s)
+
+        self._loop_handle = loop.call_later(
+            interval_s, tick, loop.time() + interval_s)
+
+    def disarm_loop_monitor(self) -> None:
+        self._loop_generation += 1
+        handle = self._loop_handle
+        self._loop_handle = None
+        if handle is not None:
+            try:
+                handle.cancel()
+            except Exception:   # noqa: BLE001 — loop already closed
+                self.sample_errors += 1
+        self.loop_lag_s = 0.0
+
+    # -- worker ingest -------------------------------------------------------
+
+    def ingest(self, payload: Optional[Dict[str, object]]) -> bool:
+        """Fold one worker :func:`task_runtime` payload into the parent's
+        ``repro_worker_*`` series; returns whether anything was added."""
+        if not payload or not isinstance(payload, dict):
+            return False
+        reg = self._registry
+        peak = payload.get("peak_rss_bytes")
+        if isinstance(peak, (int, float)) and peak > 0:
+            gauge = reg.gauge("repro_worker_peak_rss_bytes",
+                              "Highest task peak RSS shipped home by any "
+                              "pool worker.")
+            current = reg.value("repro_worker_peak_rss_bytes") or 0.0
+            if peak > current:
+                gauge.set(float(peak))
+        cpu = payload.get("cpu_s")
+        if isinstance(cpu, (int, float)) and cpu >= 0:
+            reg.counter("repro_worker_cpu_seconds_total",
+                        "CPU seconds burned inside pool worker tasks."
+                        ).inc(float(cpu))
+        collections = payload.get("gc_collections")
+        if isinstance(collections, dict):
+            metric = reg.counter(
+                "repro_worker_gc_collections_total",
+                "GC collections inside pool worker tasks, per generation.",
+                labels=("generation",))
+            for generation, count in collections.items():
+                if isinstance(count, int) and count > 0:
+                    metric.labels(generation=str(generation)).inc(count)
+        return True
+
+    def state(self) -> Dict[str, object]:
+        """A JSON-safe view of the sampler (flight-bundle material)."""
+        with self._lock:
+            return {
+                "running": self._thread is not None
+                and self._thread.is_alive(),
+                "interval_s": self.interval_s,
+                "samples_taken": self.samples_taken,
+                "sample_errors": self.sample_errors,
+                "peak_rss_bytes": self.peak_rss,
+                "loop_lag_s": self.loop_lag_s,
+                "last": dict(self.last),
+            }
+
+
+# ---------------------------------------------------------------------------
+# worker-side task capture
+
+
+class _TaskRuntime:
+    """Tracks one task's peak RSS / CPU / GC deltas (see module doc)."""
+
+    def __init__(self, interval_s: float = TASK_INTERVAL_S) -> None:
+        self.interval_s = interval_s
+        self.peak_rss = 0.0
+        self.cpu_s = 0.0
+        self.gc_deltas: Dict[str, int] = {}
+        self.samples = 0
+        self._cpu_start = 0.0
+        self._gc_start: List[int] = []
+        self._stop: Optional[threading.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def _loop(self, stop: threading.Event) -> None:
+        while not stop.wait(self.interval_s):
+            rss = rss_bytes()
+            if rss > self.peak_rss:
+                self.peak_rss = rss
+            self.samples += 1
+
+    def __enter__(self) -> "_TaskRuntime":
+        self._cpu_start = cpu_seconds()
+        self._gc_start = [s.get("collections", 0) for s in gc.get_stats()]
+        self.peak_rss = rss_bytes()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, args=(self._stop,),
+            name="repro-task-runtime", daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._stop is not None:
+            self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+        rss = rss_bytes()
+        if rss > self.peak_rss:
+            self.peak_rss = rss
+        self.cpu_s = max(0.0, cpu_seconds() - self._cpu_start)
+        stats = gc.get_stats()
+        for generation, after in enumerate(stats):
+            before = self._gc_start[generation] \
+                if generation < len(self._gc_start) else 0
+            delta = after.get("collections", 0) - before
+            if delta > 0:
+                self.gc_deltas[str(generation)] = delta
+
+    def as_payload(self) -> Dict[str, object]:
+        """The pickle-safe form shipped over the pool result channel."""
+        return {
+            "pid": os.getpid(),
+            "peak_rss_bytes": self.peak_rss,
+            "cpu_s": self.cpu_s,
+            "gc_collections": dict(self.gc_deltas),
+            "samples": self.samples,
+        }
+
+
+@contextmanager
+def task_runtime(
+        interval_s: float = TASK_INTERVAL_S) -> Iterator[_TaskRuntime]:
+    """Wrap one pool task; ``.as_payload()`` afterwards ships the deltas
+    home (the runtime twin of ``PROFILER.maybe`` / ``TRACER.capture``)."""
+    capture = _TaskRuntime(interval_s=interval_s)
+    with capture:
+        yield capture
+    _LOG.debug("event=task_runtime_done %s",
+               kv(peak_rss=int(capture.peak_rss),
+                  cpu_s=round(capture.cpu_s, 4)))
+
+
+#: The process-wide sampler.  Dormant (no thread) until ``start()`` —
+#: serve starts it; one-shot CLI commands just read the gauges, which are
+#: callback-backed and always live.
+RUNTIME = RuntimeSampler()

@@ -50,6 +50,16 @@ Endpoints (all JSON):
     Machine-readable verdicts of the declarative latency/error-budget
     objectives (:mod:`repro.obs.slo`), with burn rates for the window
     since the previous evaluation.
+``GET /metrics/history``
+    Windowed time-series over the bounded metrics-history ring
+    (:mod:`repro.obs.history`): ``?window=<seconds>`` selects the
+    trailing window, ``?names=a,b`` filters series by metric name.
+    Counter rates, gauge min/last/max, histogram p50/p95/p99 — the
+    ``repro top`` dashboard's data source.  Response size is bounded by
+    the ring capacity regardless of uptime or store size.
+``POST /debug/dump``
+    Write a flight-recorder bundle now (requires ``--flight-dir``);
+    responds with the bundle path.
 
 Tracing: each request runs under a ``serve.request`` root span.  A client
 ``X-Repro-Trace-Id`` header forces sampling and names the trace; sampled
@@ -72,9 +82,12 @@ from typing import Dict, Optional
 
 from .. import perf
 from ..obs.analyze import aggregate_ops, critical_path
+from ..obs.flightrec import FLIGHT
+from ..obs.history import MetricsHistory
 from ..obs.logs import get_logger, kv
 from ..obs.metrics import REGISTRY
 from ..obs.profile import MAX_HZ, PROFILER
+from ..obs.runtime import RUNTIME
 from ..obs.slo import SLOEngine
 from ..obs.trace import TRACER
 from ..pipeline import BASELINE_PLANNERS
@@ -115,7 +128,8 @@ def _route_label(path: str) -> str:
     """The bounded route pattern a request path belongs to."""
     path = path.rstrip("/") or "/"
     if path in ("/healthz", "/metrics", "/scenarios", "/results", "/runs",
-                "/profile", "/slo", "/analyze/ops"):
+                "/profile", "/slo", "/analyze/ops", "/metrics/history",
+                "/debug/dump"):
         return path
     if _LATEST_ROUTE.match(path):
         return "/results/{scenario}/latest"
@@ -216,7 +230,11 @@ class ReproApp:
                  cache_capacity: int = 256,
                  job_retries: int = 1,
                  breaker_threshold: int = 5,
-                 breaker_cooldown_s: float = 30.0) -> None:
+                 breaker_cooldown_s: float = 30.0,
+                 flight_dir: Optional[str] = None,
+                 history_interval_s: float = 5.0,
+                 history_capacity: int = 360,
+                 runtime_interval_s: float = 1.0) -> None:
         self.cache_dir = cache_dir
         self.store_path = store_path or default_store_path(cache_dir)
         self.store = ResultStore(self.store_path)
@@ -229,8 +247,7 @@ class ReproApp:
                              # A result the disk refuses is held by the
                              # store's in-memory fallback: the client still
                              # reads it, a later flush retries the append.
-                             on_persist_error=lambda record:
-                             self.store.remember([record]))
+                             on_persist_error=self._on_persist_error)
         self.cache = LRUCache(cache_capacity)
         self.started_at = time.time()     # wall clock: display only
         # Uptime is a duration: derive it from the monotonic clock so an
@@ -262,13 +279,56 @@ class ReproApp:
         REGISTRY.gauge("repro_store_fallback_records",
                        "result records held only in memory (disk refused)",
                        fn=self.store.fallback_count)
+        REGISTRY.gauge("repro_pool_busy_workers",
+                       "pool workers currently executing a task",
+                       fn=self.jobs.busy_workers)
+        REGISTRY.gauge("repro_pool_queue_depth",
+                       "jobs accepted but not yet dispatched to the pool",
+                       fn=self.jobs.queue_depth)
         self.slo_engine = SLOEngine()
+        self.runtime_interval_s = runtime_interval_s
+        self.history = MetricsHistory(capacity=history_capacity,
+                                      interval_s=history_interval_s,
+                                      on_snapshot=self._check_slo_breach)
+        # The process-wide flight recorder serves this (newest) app: its
+        # bundles embed our health snapshot and history ring.
+        FLIGHT.configure(flight_dir=flight_dir, history=self.history,
+                         health_fn=self._health_payload)
 
     # -- plumbing -----------------------------------------------------------
+
+    def _on_persist_error(self, record) -> None:
+        # Degrading to the in-memory fallback is a forensics moment: the
+        # disk just refused a write this process promised to keep.
+        FLIGHT.maybe_dump("persist-fallback")
+        self.store.remember([record])
+
+    def _check_slo_breach(self) -> None:
+        """History-thread hook: a breach verdict triggers a flight dump.
+
+        Only evaluated while the recorder is enabled — ``evaluate()``
+        advances the burn-rate window, and an idle process should not
+        consume ``/slo`` windows for a dump it can never write.
+        """
+        if not FLIGHT.enabled:
+            return
+        verdict = self.slo_engine.evaluate()
+        if verdict.get("status") == "breach":
+            FLIGHT.maybe_dump("slo-breach")
 
     def start(self) -> None:
         """Start the background machinery (needs a running event loop)."""
         self.jobs.start()
+        self.history.start()
+        if self.runtime_interval_s > 0:
+            RUNTIME.start(interval_s=self.runtime_interval_s)
+        try:
+            import asyncio
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            loop = None
+        if loop is not None:
+            RUNTIME.arm_loop_monitor(loop)
 
     @property
     def draining(self) -> bool:
@@ -280,6 +340,11 @@ class ReproApp:
         (in-memory fallback records, the sidecar index, buffered spans go
         with the span-log handler's own flushing).  :meth:`close` follows.
         """
+        # The bundle is written *before* the drain so it captures the
+        # in-flight state SIGTERM interrupted, not the emptied-out queue —
+        # and synchronously, so process exit cannot outrun the write.
+        if FLIGHT.enabled:
+            FLIGHT.dump("sigterm")
         cut_off = await self.jobs.drain(timeout_s)
         self.store.flush()
         _LOG.warning("event=drained %s",
@@ -287,6 +352,9 @@ class ReproApp:
                          time.monotonic() - self._started_mono, 3)))
 
     async def close(self) -> None:
+        RUNTIME.disarm_loop_monitor()
+        RUNTIME.stop()
+        self.history.stop()
         await self.jobs.close()
         self.store.close()
 
@@ -332,8 +400,12 @@ class ReproApp:
         path, method = request.path.rstrip("/") or "/", request.method
         if path == "/healthz":
             return self._healthz(method)
+        if path == "/metrics/history":
+            return self._metrics_history(request, method)
         if path == "/metrics":
             return self._metrics(request, method)
+        if path == "/debug/dump":
+            return self._debug_dump(method)
         if path == "/scenarios":
             return self._scenarios(request, method)
         if path == "/results":
@@ -387,13 +459,9 @@ class ReproApp:
 
     # -- endpoints ----------------------------------------------------------
 
-    def _healthz(self, method: str) -> Response:
-        self._require(method, "GET", "HEAD")
-        # Degradation (open breakers, fallback records, draining) is
-        # *reported*, but the status stays "ok": one poisoned scenario or
-        # a full disk must not make an orchestrator kill a server that is
-        # still answering every other request.
-        return json_response({
+    def _health_payload(self) -> Dict[str, object]:
+        """The ``/healthz`` document (also embedded in flight bundles)."""
+        return {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self._started_mono, 3),
             "started_at": self.started_at,
@@ -402,7 +470,15 @@ class ReproApp:
             "draining": self.draining,
             "breakers": self.jobs.breakers.states(),
             "store_fallback_records": self.store.fallback_count(),
-        })
+        }
+
+    def _healthz(self, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        # Degradation (open breakers, fallback records, draining) is
+        # *reported*, but the status stays "ok": one poisoned scenario or
+        # a full disk must not make an orchestrator kill a server that is
+        # still answering every other request.
+        return json_response(self._health_payload())
 
     def _metrics(self, request: Request, method: str) -> Response:
         self._require(method, "GET", "HEAD")
@@ -443,6 +519,29 @@ class ReproApp:
                 "log_errors": TRACER.log_errors,
             },
         })
+
+    def _metrics_history(self, request: Request, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        window = _int_param(request, "window", 300, minimum=1,
+                            maximum=86400)
+        raw_names = (request.query.get("names") or "").strip()
+        names = None
+        if raw_names:
+            names = [name for name in raw_names.split(",") if name][:32]
+        # Never conditional/cached: the ring advances every interval and
+        # the document is already bounded by the ring capacity.
+        return json_response(self.history.window(window, names=names))
+
+    def _debug_dump(self, method: str) -> Response:
+        self._require(method, "POST")
+        if not FLIGHT.enabled:
+            raise HTTPError(409, "flight recorder disabled; start the "
+                                 "server with --flight-dir")
+        path = FLIGHT.dump("manual")
+        if path is None:
+            raise HTTPError(500, "flight bundle write failed (see "
+                                 "repro_flight_dump_errors_total)")
+        return json_response({"path": path, "reason": "manual"})
 
     def _scenarios(self, request: Request, method: str) -> Response:
         self._require(method, "GET", "HEAD")

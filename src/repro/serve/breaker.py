@@ -26,6 +26,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.flightrec import FLIGHT
 from ..obs.logs import get_logger, kv
 from ..obs.metrics import REGISTRY
 
@@ -76,6 +77,12 @@ class BreakerBoard:
                      kv(scenario=scenario, from_=breaker.state, to=to,
                         failures=breaker.failures))
         breaker.state = to
+        if to == OPEN:
+            # A breaker opening is exactly the moment forensics matter:
+            # snapshot spans/metrics/health while the failure is fresh.
+            # Non-blocking (daemon-thread dump) and a no-op when the
+            # flight recorder is disabled.
+            FLIGHT.maybe_dump("breaker-open")
 
     def allow(self, scenario: str) -> None:
         """Admit a submission for ``scenario`` or raise :class:`CircuitOpen`.

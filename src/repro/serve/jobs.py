@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..obs.logs import get_logger, kv
 from ..obs.metrics import REGISTRY
 from ..obs.profile import PROFILER
+from ..obs.runtime import RUNTIME
 from ..obs.trace import TRACER
 from ..perf import COUNTERS
 from ..sweep.results import SweepRecord
@@ -211,6 +212,9 @@ class JobQueue:
         self._draining = False
         self._rng = random.Random(0x0B5E)
         self.completed = 0
+        #: Dispatchers with a pool task in flight right now — the
+        #: pool-utilisation gauge's source (``repro_pool_busy_workers``).
+        self._busy = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -265,6 +269,14 @@ class JobQueue:
 
     def pending(self) -> int:
         return sum(1 for j in self._jobs.values() if not j.done)
+
+    def busy_workers(self) -> int:
+        """Dispatchers currently executing a pool attempt."""
+        return self._busy
+
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet picked up by a dispatcher."""
+        return self._queue.qsize()
 
     def submit(self, scenario: str, period_s: float = 60.0,
                baselines: Tuple[str, ...] = DEFAULT_BASELINES,
@@ -456,6 +468,14 @@ class JobQueue:
                                        trace_ctx=job.trace_ctx,
                                        profile_hz=job.profile_hz,
                                        attempt=attempt)
+        self._busy += 1
+        try:
+            return await self._await_attempt(job, async_result, deadline)
+        finally:
+            self._busy -= 1
+
+    async def _await_attempt(self, job: Job, async_result, deadline: float
+                             ) -> Optional[Tuple[str, str]]:
         # Snapshot *after* submit: warming a fresh pool bumps the
         # generation, and that must not read as a mid-task respawn.
         generation = pool_generation()
@@ -495,7 +515,7 @@ class JobQueue:
         if job.done:                        # cancelled mid-flight: discard
             return None
         try:
-            record, counter_deltas, worker_spans, profile = \
+            record, counter_deltas, worker_spans, profile, runtime = \
                 async_result.get()   # repro: noqa[RC004] — .ready() was
             # polled above, so this get() returns without blocking
         except Exception as exc:            # noqa: BLE001 — a worker that
@@ -506,12 +526,15 @@ class JobQueue:
         # span ring are invisible here; fold the deltas in (atomically) so
         # /metrics in this process reflects the work its jobs caused,
         # ingest the worker's spans so GET /trace/{id} shows its pipeline
-        # stages, and fold any shipped profile into the process-wide
-        # profiler so GET /profile shows the worker's hot frames.
+        # stages, fold any shipped profile into the process-wide profiler
+        # so GET /profile shows the worker's hot frames, and fold the
+        # worker's runtime deltas (peak RSS, CPU, GC) into the
+        # repro_worker_* series.
         COUNTERS.add(**counter_deltas)
         TRACER.ingest(worker_spans)
         if profile is not None:
             job.profile_samples = PROFILER.ingest(profile)
+        RUNTIME.ingest(runtime)
         self._persist(job, record)
         self._finish(job, "ok" if record.ok else "error", record=record)
         return ("ok", "")

@@ -56,6 +56,7 @@ from ..ioutils import write_atomic
 from ..obs.logs import get_logger, kv
 from ..obs.metrics import REGISTRY
 from ..obs.profile import PROFILER
+from ..obs.runtime import task_runtime
 from ..obs.trace import TRACER
 from ..perf import counters_snapshot, fast_path_enabled, set_fast_path
 from ..pipeline import run_pipeline
@@ -110,6 +111,12 @@ _TASK_DEADLINES = REGISTRY.counter(
 _STORE_WRITE_ERRORS = REGISTRY.counter(
     "repro_sweep_store_write_errors_total",
     "cache/store writes that failed (sweep degraded, results kept in memory)")
+_SWEEP_INFLIGHT = REGISTRY.gauge(
+    "repro_sweep_inflight_tasks",
+    "sweep tasks currently dispatched to pool workers")
+_SWEEP_PENDING = REGISTRY.gauge(
+    "repro_sweep_pending_tasks",
+    "sweep tasks queued behind the pool's in-flight set")
 
 
 @dataclass(frozen=True)
@@ -275,7 +282,8 @@ def _worker_with_counters(args: Tuple[Scenario, float, Tuple[str, ...],
                                       TaskContext]
                           ) -> Tuple[SweepRecord, Dict[str, int],
                                      List[Dict[str, object]],
-                                     Optional[Dict[str, object]]]:
+                                     Optional[Dict[str, object]],
+                                     Dict[str, object]]:
     """Like :func:`_worker`, but ships the task's observability payload too.
 
     ``repro.perf.COUNTERS`` and the span ring buffer are per-process, so
@@ -291,16 +299,28 @@ def _worker_with_counters(args: Tuple[Scenario, float, Tuple[str, ...],
     worker's sampling profiler; the fourth element of the return tuple is
     the shipped profile payload (``None`` when unprofiled), which the
     submitter folds into its own :data:`~repro.obs.profile.PROFILER`.
+
+    The fifth element is the task's runtime payload (peak RSS, CPU
+    seconds, GC collection deltas — :func:`repro.obs.runtime.task_runtime`),
+    folded into the submitter's ``repro_worker_*`` series.  Captured spans
+    are stamped with this worker's pid so the Perfetto export
+    (``repro trace --format chrome``) renders each worker as its own
+    process track.
     """
     context = args[3]
     before = counters_snapshot()
     with TRACER.capture() as captured, \
+            task_runtime() as runtime, \
             PROFILER.maybe(bool(context.profile_hz),
                            hz=context.profile_hz) as profile:
         record = _worker(args)
     after = counters_snapshot()
     deltas = {name: after[name] - before[name] for name in after}
-    return record, deltas, captured.spans, profile.as_payload()
+    pid = os.getpid()
+    for span in captured.spans:
+        span.setdefault("attrs", {}).setdefault("pid", pid)
+    return (record, deltas, captured.spans, profile.as_payload(),
+            runtime.as_payload())
 
 
 # -- persistent warm worker pool ---------------------------------------------
@@ -518,9 +538,10 @@ def submit_scenario(scenario_name: str, processes: int,
     infrastructure failures (injected faults, a worker lost mid-task) —
     callers guard it and snapshot :func:`pool_generation` at submit time to
     detect a pool replaced underneath them.  The async result yields
-    ``(record, perf-counter deltas, spans, profile)`` so the caller can
-    account the worker's pipeline work — and its trace, and (with
-    ``profile_hz`` set) its sampled stacks — in its own process.
+    ``(record, perf-counter deltas, spans, profile, runtime)`` so the
+    caller can account the worker's pipeline work — its trace, (with
+    ``profile_hz`` set) its sampled stacks, and its runtime deltas (peak
+    RSS / CPU / GC) — in its own process.
     ``trace_ctx`` overrides the submitter's ambient trace context (the
     serving layer captures it on the request thread, before the job reaches
     the dispatcher); ``attempt`` labels retry dispatches for deterministic
@@ -655,6 +676,8 @@ def _run_parallel(todo: Sequence[str], processes: int, period_s: float,
 
     while pending or inflight:
         now = time.monotonic()
+        _SWEEP_INFLIGHT.set(len(inflight))
+        _SWEEP_PENDING.set(len(pending))
 
         # Dispatch up to the window, rotating past backoff-gated heads so
         # one cooling-down task doesn't starve the ready ones behind it.
@@ -746,6 +769,8 @@ def _run_parallel(todo: Sequence[str], processes: int, period_s: float,
 
         time.sleep(_POLL_S)
 
+    _SWEEP_INFLIGHT.set(0)
+    _SWEEP_PENDING.set(0)
     return done
 
 

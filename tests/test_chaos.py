@@ -24,6 +24,7 @@ import pytest
 
 from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
 from repro.netsim import StarSpec, generate_star
+from repro.obs.flightrec import FLIGHT
 from repro.obs.metrics import REGISTRY
 from repro.scenarios import scenario_names
 from repro.scenarios.registry import register_scenario, unregister
@@ -61,8 +62,12 @@ def _arm(plan):
 def _chaos_hygiene():
     """No plan leaks in (or out), and no armed pool workers outlive a test."""
     clear_plan()
+    FLIGHT.reset_cooldowns()
     yield
     clear_plan()
+    # The flight recorder is a process singleton configured by ReproApp;
+    # disarm it so one test's --flight-dir never leaks dumps into the next.
+    FLIGHT.configure(flight_dir=None, history=None, health_fn=None)
     respawn_pool("chaos-teardown")
 
 
@@ -267,6 +272,10 @@ class TestServeChaos:
         flag = str(tmp_path / "failing.flag")
         with open(flag, "w", encoding="utf-8") as handle:
             handle.write("fail\n")
+        # Under `make chaos` the bundles land in CHAOS_flight/ so CI can
+        # assert and archive them; standalone runs use the test tmp dir.
+        flight_dir = os.environ.get("REPRO_CHAOS_FLIGHT_DIR") or \
+            str(tmp_path / "flight")
         register_scenario("test-chaos-flaky", family="test-internal",
                           flag=flag)(_flag_builder)
         try:
@@ -300,12 +309,42 @@ class TestServeChaos:
                 assert json.loads(blob)["breakers"] == {}
 
             _with_app(scenario, cache_dir=str(tmp_path), pool_processes=1,
-                      breaker_threshold=2, breaker_cooldown_s=0.3)
+                      breaker_threshold=2, breaker_cooldown_s=0.3,
+                      flight_dir=flight_dir)
             assert _counter("repro_breaker_transitions_total", to="open") >= 1
             assert _counter("repro_breaker_transitions_total",
                             to="closed") >= 1
+            # The breaker opening must have produced a forensics bundle
+            # (the dump runs on a daemon thread, so poll briefly).
+            bundle = self._wait_for_bundle(flight_dir, "breaker-open")
+            with open(bundle, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+            assert doc["reason"] == "breaker-open"
+            assert isinstance(doc["spans"], list)
+            if os.environ.get("REPRO_CHAOS_SPAN_LOG"):
+                # Under `make chaos` the conftest arms full sampling, so
+                # the bundle must carry the span ring tail.
+                assert doc["spans"], "bundle carries the span ring tail"
+            assert doc["metrics_history"]["snapshots"] >= 1
+            # The dump runs concurrently with the test's recovery phase, so
+            # the captured breaker may already be half-open/closed again;
+            # only its presence in the health snapshot shape is guaranteed.
+            assert "breakers" in doc["healthz"]
         finally:
             unregister("test-chaos-flaky")
+
+    @staticmethod
+    def _wait_for_bundle(flight_dir, reason, timeout=10.0):
+        import glob
+
+        pattern = os.path.join(flight_dir, f"flight-{reason}-*.json")
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            found = sorted(glob.glob(pattern))
+            if found:
+                return found[-1]
+            time.sleep(0.05)
+        raise AssertionError(f"no flight bundle matching {pattern}")
 
     def test_open_breaker_rejects_at_submit(self, tmp_path):
         queue = JobQueue(cache_dir=str(tmp_path), breaker_threshold=1)
